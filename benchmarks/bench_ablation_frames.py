@@ -1,0 +1,57 @@
+"""Ablation: time-frame expansion depth n (the paper uses n = 15).
+
+The observability of gates deep inside register pipelines only converges
+once errors can traverse the whole sequential depth; the paper simulates
+15 frames "to reach steady operational state".  This ablation sweeps n
+and reports how far the per-gate observabilities (and the SER built from
+them) are from the deep-horizon reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.suites import table1_circuit
+from repro.sim.odc import observability
+from repro.ser.analysis import analyze_ser
+from repro.graph.retiming_graph import RetimingGraph
+from repro.graph.timing import achieved_period
+
+from .conftest import bench_patterns, bench_scale, once
+
+_SWEEP: dict[int, tuple[float, float]] = {}
+_FRAMES = (1, 2, 4, 8, 15)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    circuit = table1_circuit("s13207", scale=bench_scale())
+    graph = RetimingGraph.from_circuit(circuit)
+    phi = achieved_period(graph, graph.zero_retiming()) * 1.1
+    reference = observability(circuit, n_frames=20,
+                              n_patterns=bench_patterns(), seed=0).obs
+    return circuit, phi, reference
+
+
+@pytest.mark.parametrize("frames", _FRAMES)
+def test_frames_sweep(benchmark, instance, frames):
+    circuit, phi, reference = instance
+    result = once(benchmark, observability, circuit, frames,
+                  bench_patterns(), None, 0)
+    gate_err = float(np.mean([abs(result.obs[g] - reference[g])
+                              for g in circuit.gates]))
+    ser = analyze_ser(circuit, phi, obs=result.obs).total
+    _SWEEP[frames] = (gate_err, ser)
+
+
+def test_zz_frames_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_SWEEP) < 4:
+        pytest.skip("sweep incomplete")
+    print("\n  n   mean |obs - obs_ref|     SER")
+    for frames in sorted(_SWEEP):
+        err, ser = _SWEEP[frames]
+        print(f"  {frames:2d}   {err:10.4f}          {ser:.4e}")
+    # Convergence: the paper's 15 frames sit much closer to the deep
+    # reference than a single frame.
+    assert _SWEEP[15][0] < _SWEEP[1][0]
+    assert _SWEEP[15][0] < 0.05

@@ -1,0 +1,72 @@
+"""Figure 2 reproduction: the three active-constraint types.
+
+Builds the three minimal scenarios of Fig. 2 -- a P0 violation (register
+deficit), a P1' violation (critical longest path created by a move), and
+a P2' violation (critical shortest path terminated by a registered edge)
+-- and benchmarks the constraint checker that diagnoses them, asserting
+each diagnosis produces exactly the active constraint the paper
+prescribes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import Problem, check_constraints
+from repro.graph.retiming_graph import RetimingGraph
+
+from .conftest import once
+
+
+def chain(delays, weights, phi, rmin=0.0):
+    g = RetimingGraph()
+    names = [f"g{i}" for i in range(len(delays))]
+    for name, d in zip(names, delays):
+        g.add_vertex(name, d)
+    g.add_edge("__host__", names[0], weights[0], src_net="pi")
+    for i in range(len(names) - 1):
+        g.add_edge(names[i], names[i + 1], weights[i + 1])
+    g.add_edge(names[-1], "__host__", weights[-1], tag=("po", 0))
+    problem = Problem(graph=g, phi=phi, setup=0.0, hold=2.0, rmin=rmin,
+                      b=np.zeros(g.n_vertices, dtype=np.int64))
+    return g, problem
+
+
+def test_fig2a_p0_constraint(benchmark):
+    """Fig. 2(a): w_r(u, v) = 0 and v moves -> (v, u) active constraint."""
+    g, problem = chain([2, 2, 2], [0, 1, 0, 0], phi=100)
+    move = np.zeros(g.n_vertices, dtype=np.int64)
+    move[g.index["g2"]] = 1  # g2 moves; edge g1->g2 had no registers
+    r = g.zero_retiming() - move
+    violation = once(benchmark, check_constraints, problem, r, move)
+    assert violation.kind == "P0"
+    assert (violation.p, violation.q) == (g.index["g2"], g.index["g1"])
+    assert violation.deficit == 1
+
+
+def test_fig2b_p1_constraint(benchmark):
+    """Fig. 2(b): z's move creates a critical longest path u ~> z; the
+    active constraint is (lt(u), u)."""
+    g, problem = chain([3, 3, 3], [0, 0, 1, 1], phi=7)
+    move = np.zeros(g.n_vertices, dtype=np.int64)
+    move[g.index["g2"]] = 1  # register moves off g1->g2 to g2->host
+    r = g.zero_retiming() - move
+    violation = once(benchmark, check_constraints, problem, r, move)
+    assert violation.kind == "P1"
+    assert violation.p == g.index["g2"]   # lt(u) = z, the mover
+    assert violation.q == g.index["g0"]   # u, head of the long path
+    assert violation.deficit == 1
+
+
+def test_fig2c_p2_constraint(benchmark):
+    """Fig. 2(c): a move registers (u, v) and the critical shortest path
+    v ~> z ends at registered edge (z, y); the constraint drags y by
+    w_r(z, y)."""
+    g, problem = chain([4, 1, 1, 4], [0, 1, 0, 2, 0], phi=100, rmin=5.0)
+    move = np.zeros(g.n_vertices, dtype=np.int64)
+    move[g.index["g1"]] = 1  # moves the register to edge g1->g2
+    r = g.zero_retiming() - move
+    violation = once(benchmark, check_constraints, problem, r, move)
+    assert violation.kind == "P2"
+    assert violation.p == g.index["g1"]   # the mover
+    assert violation.q == g.index["g3"]   # y, beyond the terminal z=g2
+    assert violation.deficit == 2         # all registers off (z, y)

@@ -1,0 +1,63 @@
+"""Figure 3 reproduction: positive-tree-to-positive-tree linking.
+
+Scripts the paper's Fig. 3 against the weighted regular forest: x (with
+positive gain) drags y with weight 1; later u (also positive) needs y
+with weight 2, forcing a BreakTree weight update and a link between two
+positive trees -- the case that motivates the weighted extension of
+Sec. IV-C.  Also benchmarks the forest's closed-set selection and
+BreakTree on a large random forest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.regular_forest import RegularForest
+
+from .conftest import once
+
+
+def test_fig3_scenario(benchmark):
+    # Vertices: 0=host, 1=u (gain 6), 2=x (gain 5), 3=y (gain -2).
+    def scenario():
+        forest = RegularForest(np.array([0, 6, 5, -2], dtype=np.int64))
+        # Fig. 3(a): x is examined first, a P0 fix bundles y with x.
+        assert forest.add_constraint(2, 3, 1)
+        first = forest.positive_delta().copy()
+        # Fig. 3(b): u's move causes a P2' violation requiring y to
+        # absorb 2 registers -- y sits in a positive tree already.
+        assert forest.add_constraint(1, 3, 2)
+        second = forest.positive_delta().copy()
+        return forest, first, second
+
+    forest, first, second = once(benchmark, scenario)
+    # After the weight update the old (x, y) constraint is gone
+    # (BreakTree dropped it) and the new (u, y) constraint holds.
+    assert (2, 3) not in forest.constraints()
+    assert (1, 3) in forest.constraints()
+    assert forest.weight[3] == 2
+    # Both positive roots stay selectable; y moves by its new weight.
+    assert first[2] == 1 and first[3] == 1
+    assert second[1] == 1 and second[3] == 2 and second[2] == 1
+
+
+def test_forest_scales_linearly(benchmark):
+    """Closed-set selection over a 20k-vertex forest stays fast -- the
+    linear-storage/linear-work property the paper inherits from [20]."""
+    rng = np.random.default_rng(0)
+    n = 20_000
+    gains = rng.integers(-50, 51, size=n)
+    gains[0] = 0
+    forest = RegularForest(gains.astype(np.int64))
+    order = rng.permutation(np.arange(1, n))
+    for child, parent in zip(order[: n // 2], order[n // 2: 2 * (n // 2)]):
+        if forest.root(int(child)) != forest.root(int(parent)):
+            forest.add_constraint(int(parent), int(child), 1)
+
+    delta = once(benchmark, forest.positive_delta)
+    assert delta.any()
+    # Spot-check closure on a sample of stored constraints.
+    constraints = forest.constraints()[:500]
+    chosen = set(np.nonzero(delta)[0].tolist())
+    for p, q in constraints:
+        if p in chosen:
+            assert q in chosen or q == 0

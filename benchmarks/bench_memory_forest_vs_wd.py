@@ -1,0 +1,80 @@
+"""Sec. IV/VI claim: O(|E|) forest storage vs Theta(|V|^2) W/D matrices.
+
+The motivation for the incremental algorithm is that the classical
+W/D-matrix formulations need quadratic memory ("the bottleneck of this
+class of algorithms", Sec. IV-A).  This benchmark measures the live
+bytes of the forest-based solver state against the W/D matrices on the
+same graphs across sizes, showing the linear-vs-quadratic separation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.core.regular_forest import RegularForest
+from repro.graph.paths import wd_matrices
+from repro.graph.retiming_graph import RetimingGraph
+
+from .conftest import once
+
+_SIZES = (100, 200, 400, 800)
+_MEASURED: dict[int, dict[str, float]] = {}
+
+
+def _graph(n_gates: int) -> RetimingGraph:
+    circuit = random_sequential_circuit(
+        f"mem{n_gates}", n_gates=n_gates, n_dffs=max(8, n_gates // 3),
+        n_inputs=8, n_outputs=8, seed=n_gates)
+    return RetimingGraph.from_circuit(circuit)
+
+
+def _forest_bytes(graph: RetimingGraph) -> int:
+    import sys
+
+    forest = RegularForest(np.zeros(graph.n_vertices, dtype=np.int64))
+    total = forest.b.nbytes
+    total += sys.getsizeof(forest.parent) + 8 * len(forest.parent)
+    total += sys.getsizeof(forest.weight) + 8 * len(forest.weight)
+    total += sys.getsizeof(forest.drags_parent) + len(forest.drags_parent)
+    total += sum(sys.getsizeof(s) for s in forest.children)
+    return total
+
+
+def _wd_bytes(graph: RetimingGraph) -> int:
+    W, D = wd_matrices(graph)
+    return W.nbytes + D.nbytes
+
+
+@pytest.mark.parametrize("n_gates", _SIZES)
+def test_memory_comparison(benchmark, n_gates):
+    graph = _graph(n_gates)
+
+    def measure():
+        return _forest_bytes(graph), _wd_bytes(graph)
+
+    forest_bytes, wd_bytes = once(benchmark, measure)
+    _MEASURED[n_gates] = {"forest": forest_bytes, "wd": wd_bytes,
+                          "edges": graph.n_edges,
+                          "vertices": graph.n_vertices}
+    assert wd_bytes > forest_bytes
+
+
+def test_zz_scaling_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_MEASURED) < 3:
+        pytest.skip("not enough sizes measured")
+    sizes = sorted(_MEASURED)
+    print("\n   |V|      forest bytes      W/D bytes      ratio")
+    for n in sizes:
+        m = _MEASURED[n]
+        print(f"  {m['vertices']:5d}  {m['forest']:12d}  "
+              f"{m['wd']:13d}  {m['wd'] / m['forest']:9.1f}x")
+    # Quadratic vs linear: the ratio between largest and smallest W/D
+    # footprint should grow ~quadratically with |V| while the forest
+    # grows ~linearly.
+    small, large = _MEASURED[sizes[0]], _MEASURED[sizes[-1]]
+    v_ratio = large["vertices"] / small["vertices"]
+    wd_growth = large["wd"] / small["wd"]
+    forest_growth = large["forest"] / small["forest"]
+    assert wd_growth > 0.5 * v_ratio ** 2
+    assert forest_growth < 3.0 * v_ratio

@@ -1,0 +1,99 @@
+"""Table I reproduction: the paper's main experiment.
+
+One benchmark per Table I row (21 ISCAS89/ITC99-mimicking synthetic
+circuits; see DESIGN.md for the substitution): runs the full Sec. VI flow
+-- observability simulation, Sec. V initialization, Efficient MinObs and
+MinObsWin, netlist rebuild, eq. (4) SER analysis -- and collects the
+paper's columns.  The final summary test prints the full table plus the
+averages the paper reports and asserts the qualitative shape:
+
+* both algorithms reduce SER on average (paper: -26.7% / -32.7%);
+* both reduce register count on average (paper: -43% / -38%);
+* MinObsWin never does catastrophically worse than MinObs (the paper's
+  worst ratio is 67%);
+* every retimed circuit meets its clock-period constraint.
+
+Knobs: REPRO_BENCH_SCALE, REPRO_BENCH_FRAMES, REPRO_BENCH_PATTERNS,
+REPRO_BENCH_ROWS (see conftest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.suites import table1_circuit
+from repro.pipeline import optimize_circuit, table1_row
+from repro.ser.report import format_comparison
+from repro._util import percent
+
+from .conftest import bench_frames, bench_patterns, bench_rows, \
+    bench_scale, once
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("row_name", bench_rows())
+def test_table1_row(benchmark, row_name):
+    circuit = table1_circuit(row_name, scale=bench_scale())
+
+    def run():
+        return optimize_circuit(circuit, n_frames=bench_frames(),
+                                n_patterns=bench_patterns())
+
+    result = once(benchmark, run)
+    _RESULTS[row_name] = table1_row(result)
+
+    # Per-row sanity: the solvers never regress their own objective, and
+    # the retimed netlists are well-formed.
+    from repro.graph.timing import achieved_period
+    from repro.graph.retiming_graph import RetimingGraph
+
+    for outcome in result.outcomes.values():
+        graph = RetimingGraph.from_circuit(outcome.circuit)
+        assert achieved_period(graph, graph.zero_retiming()) <= \
+            result.phi + 1e-6
+
+
+def test_zz_table1_summary(benchmark):
+    """Print the reproduced Table I and check the paper's shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [_RESULTS[name] for name in bench_rows() if name in _RESULTS]
+    if len(rows) < 3:
+        pytest.skip("not enough rows collected (filtered run)")
+    table = format_comparison(rows)
+    print("\n" + table)
+
+    d_ref = np.array([percent(r["ref_ser"], r["ser"]) for r in rows])
+    d_new = np.array([percent(r["new_ser"], r["ser"]) for r in rows])
+    dff_ref = np.array([percent(r["ref_ff"], r["FF"]) for r in rows])
+    dff_new = np.array([percent(r["new_ff"], r["FF"]) for r in rows])
+    ratio = np.array([100.0 * r["ref_ser"] / r["new_ser"] for r in rows])
+    t_ref = np.array([r["ref_time"] for r in rows])
+    t_new = np.array([r["new_time"] for r in rows])
+
+    averages = (
+        f"AVG (paper in parens): "
+        f"dSER_ref {d_ref.mean():+.1f}% (-26.7%)  "
+        f"dSER_new {d_new.mean():+.1f}% (-32.7%)  "
+        f"ratio {ratio.mean():.0f}% (115%)  "
+        f"dFF_ref {dff_ref.mean():+.1f}% (-43.0%)  "
+        f"dFF_new {dff_new.mean():+.1f}% (-38.0%)  "
+        f"t_new/t_ref {t_new.sum() / max(t_ref.sum(), 1e-9):.2f}x "
+        f"(2.5x)")
+    print("\n" + averages)
+    # Persist the reproduced table next to the harness: pytest captures
+    # stdout, so a plain `pytest benchmarks/ --benchmark-only` run still
+    # leaves the full table on disk for the record.
+    import pathlib
+
+    report = pathlib.Path(__file__).with_name("table1_report.txt")
+    report.write_text(table + "\n\n" + averages + "\n")
+
+    # Shape assertions (loose: the substrate is a scaled synthetic
+    # suite; see EXPERIMENTS.md for the full discussion).
+    assert d_ref.mean() < -5.0, "MinObs must reduce SER on average"
+    assert d_new.mean() < -5.0, "MinObsWin must reduce SER on average"
+    assert dff_new.mean() < 0.0, "register-count by-product reduction"
+    assert ratio.min() > 60.0, \
+        "MinObsWin never catastrophically below MinObs (paper min 67%)"
+    assert ratio.max() >= 100.0, \
+        "MinObsWin wins or ties somewhere (paper max 194%)"

@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``
+    Scale factor for the Table I suite (default: the suite default).
+``REPRO_BENCH_FRAMES`` / ``REPRO_BENCH_PATTERNS``
+    Observability simulation depth/width (defaults 8 / 128 -- the paper's
+    15 / larger K change magnitudes by little but cost linearly).
+``REPRO_BENCH_ROWS``
+    Comma-separated Table I row names to restrict the main benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    from repro.circuits.suites import DEFAULT_SCALE
+
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_frames() -> int:
+    return int(os.environ.get("REPRO_BENCH_FRAMES", 8))
+
+
+def bench_patterns() -> int:
+    return int(os.environ.get("REPRO_BENCH_PATTERNS", 128))
+
+
+def bench_rows() -> list[str]:
+    from repro.circuits.suites import TABLE1_ROWS
+
+    names = os.environ.get("REPRO_BENCH_ROWS")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return [row.name for row in TABLE1_ROWS]
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The Table I experiments are minutes-scale; statistical repetition is
+    neither needed nor affordable, matching how the paper reports single
+    CPU times.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

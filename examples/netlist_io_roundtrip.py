@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Netlist I/O tour: .bench <-> BLIF <-> Verilog, with equivalence proofs.
+
+Shows the interchange surface a downstream flow needs: generate a
+benchmark, write/read every supported format, and confirm functional
+equivalence with cycle-accurate co-simulation after each round trip.
+
+Run:  python examples/netlist_io_roundtrip.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.circuits import random_sequential_circuit
+from repro.netlist import (
+    dump_bench,
+    dump_blif,
+    dump_verilog,
+    load_bench,
+    load_blif,
+)
+from repro.retime.verify import check_sequential_equivalence
+
+
+def main() -> None:
+    circuit = random_sequential_circuit(
+        "io_demo", n_gates=120, n_dffs=30, n_inputs=8, n_outputs=8,
+        seed=99)
+    print(f"generated {circuit.stats()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        bench_path = root / "demo.bench"
+        dump_bench(circuit, bench_path)
+        from_bench = load_bench(bench_path)
+        equal, _ = check_sequential_equivalence(circuit, from_bench,
+                                                cycles=32, n_patterns=128)
+        print(f".bench round trip : {bench_path.stat().st_size:6d} bytes, "
+              f"equivalent = {equal}")
+        assert equal
+
+        blif_path = root / "demo.blif"
+        dump_blif(circuit, blif_path)
+        from_blif = load_blif(blif_path)
+        equal, _ = check_sequential_equivalence(circuit, from_blif,
+                                                cycles=32, n_patterns=128)
+        print(f"BLIF round trip   : {blif_path.stat().st_size:6d} bytes, "
+              f"equivalent = {equal}")
+        assert equal
+
+        # Verilog is export-only (for external tools); we check it emits
+        # a well-formed module with the right interface.
+        v_path = root / "demo.v"
+        dump_verilog(circuit, v_path)
+        text = v_path.read_text()
+        assert text.startswith("module io_demo")
+        assert all(f"input {pi};" in text for pi in circuit.inputs)
+        print(f"Verilog export    : {v_path.stat().st_size:6d} bytes, "
+              f"{text.count('always')} clocked block(s)")
+
+        # Cross-format: BLIF-loaded circuit re-emitted as .bench.
+        dump_bench(from_blif, root / "demo2.bench")
+        twice = load_bench(root / "demo2.bench")
+        equal, _ = check_sequential_equivalence(circuit, twice,
+                                                cycles=32, n_patterns=128)
+        print(f"bench->blif->bench: equivalent = {equal}")
+        assert equal
+
+
+if __name__ == "__main__":
+    main()

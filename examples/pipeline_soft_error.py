@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Domain scenario: hardening a pipelined datapath, then exporting it.
+
+The motivating workload of the paper's introduction: a sequential design
+whose registers both *catch* errors (timing masking) and *hold* them for
+many cycles (feedback).  This example:
+
+1. builds a 4-stage pipelined datapath plus an LFSR-based self-check
+   block (dense feedback -- the hard case for time-frame analysis);
+2. sweeps the time-frame depth n to show why the paper simulates 15
+   frames before trusting the observability numbers;
+3. retimes with MinObsWin, validates the result with Monte-Carlo fault
+   injection arrival checks, and exports the hardened netlist to
+   structural Verilog.
+
+Run:  python examples/pipeline_soft_error.py
+"""
+
+import numpy as np
+
+from repro.circuits import lfsr_circuit, pipeline_circuit
+from repro.netlist import Circuit, dumps_verilog
+from repro.pipeline import optimize_circuit
+from repro.sim.odc import observability
+
+
+def build_datapath() -> Circuit:
+    """A pipeline whose tail is cross-checked by an LFSR signature."""
+    c = pipeline_circuit("datapath", stages=4, width=6, seed=11)
+    # Bolt on an LFSR that folds the pipeline outputs into a signature.
+    lfsr = lfsr_circuit(length=5, taps=(0, 2))
+    rename = {net: f"sig_{net}" for net in lfsr.nets
+              if net not in lfsr.inputs}
+    c.add_input("check_en")
+    for gate in lfsr.gates.values():
+        inputs = [rename.get(i, "check_en" if i == "en" else i)
+                  for i in gate.inputs]
+        c.add_gate(rename[gate.name], gate.op, inputs)
+    for dff in lfsr.dffs.values():
+        c.add_dff(rename[dff.name], rename.get(dff.d, dff.d), dff.init)
+    # Mix the last pipeline stage into the signature input.
+    c.add_gate("fold", "XOR", ["s3_r0", "sig_r4"])
+    c.add_output("fold")
+    return c
+
+
+def main() -> None:
+    circuit = build_datapath()
+    print(f"datapath: {circuit}")
+
+    # -- why 15 frames: observability needs the error to travel the
+    #    whole pipeline before it stabilizes ------------------------------
+    probe = "s0_g0"   # first-stage gate
+    print("\ntime-frame sweep (observability of the first pipeline "
+          "stage):")
+    for frames in (1, 2, 4, 8, 15):
+        obs = observability(circuit, n_frames=frames, n_patterns=256,
+                            seed=1).obs
+        print(f"  n = {frames:2d}: obs({probe}) = {obs[probe]:.3f}")
+
+    # -- optimize ---------------------------------------------------------
+    result = optimize_circuit(circuit, n_frames=15, n_patterns=256)
+    outcome = result.outcomes["minobswin"]
+    print(f"\nMinObsWin @ phi={result.phi:.1f}: "
+          f"SER {result.ser_original.total:.4e} -> "
+          f"{outcome.ser.total:.4e}, registers {result.registers} -> "
+          f"{outcome.registers}")
+
+    # -- independent validation: injected glitches only latch inside the
+    #    structural ELW the analysis used ---------------------------------
+    from repro.core.elw import circuit_elws
+    from repro.core.intervals import IntervalSet
+    from repro.sim.bitvec import random_patterns
+    from repro.sim.faults import sensitized_latching_windows
+    from repro.sim.logicsim import simulate_comb
+
+    hardened = outcome.circuit
+    rng = np.random.default_rng(7)
+    values = {net: random_patterns(64, rng)
+              for net in list(hardened.inputs) + list(hardened.dffs)}
+    frame = simulate_comb(hardened, values, 64)
+    elws = circuit_elws(hardened, result.phi)
+    checked = 0
+    for gate in list(hardened.gates)[:10]:
+        windows = sensitized_latching_windows(
+            hardened, frame, gate, 64, result.phi)
+        structural = elws[gate]
+        for per_pattern in windows:
+            assert structural.covers(IntervalSet(per_pattern), tol=1e-6)
+        checked += 1
+    print(f"fault-injection check: sensitized latching windows of "
+          f"{checked} gates all inside the analytic ELWs")
+
+    verilog = dumps_verilog(hardened)
+    print(f"\nexported hardened netlist: {len(verilog.splitlines())} "
+          f"lines of structural Verilog (module "
+          f"{hardened.name})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""A miniature Table I: the Sec. VI experiment on a few suite rows.
+
+Runs the complete experimental flow of the paper on a subset of the
+synthetic ISCAS89/ITC99 suite (small scale so it finishes in seconds)
+and prints the same columns as Table I.  For the full 21-row experiment
+use the benchmark harness (``pytest benchmarks/bench_table1.py``) or the
+CLI (``repro-ser table1``).
+
+Run:  python examples/table1_mini.py
+"""
+
+from repro.circuits.suites import table1_circuit
+from repro.pipeline import optimize_circuit, table1_row
+from repro.ser.report import format_comparison
+
+ROWS = ("s13207", "s35932", "b14_1_opt", "b17_opt", "b21_1_opt")
+SCALE = 0.01          # ~1% of the published circuit sizes
+FRAMES, PATTERNS = 8, 128
+
+
+def main() -> None:
+    rows = []
+    for name in ROWS:
+        circuit = table1_circuit(name, scale=SCALE)
+        result = optimize_circuit(circuit, n_frames=FRAMES,
+                                  n_patterns=PATTERNS)
+        rows.append(table1_row(result))
+        print(f"  finished {name} "
+              f"({result.vertices} gates, phi={result.phi:.0f})")
+    print()
+    print(format_comparison(rows))
+    print("\nColumns follow the paper's Table I: dFF/dSER are relative")
+    print("to the original circuit; ref = MinObs [17], new = MinObsWin;")
+    print("ref/new > 100% means the ELW-aware algorithm won.")
+
+
+if __name__ == "__main__":
+    main()

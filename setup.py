@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs in offline environments without `wheel`.
+
+`pip install -e .` falls back to `setup.py develop` when PEP-517 editable
+builds are unavailable; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro: Retiming for Soft Error Minimization Under ELW Constraints.
+
+A from-scratch Python reproduction of Lu & Zhou, DATE 2013: the MinObsWin
+retiming algorithm (register-observability minimization under
+error-latching-window constraints) together with every substrate it needs
+-- netlists, logic simulation, observability analysis, ELW timing, the SER
+engine, classic retiming, and the MinObs baseline.
+
+Quickstart::
+
+    from repro import loads_bench, optimize_circuit
+
+    circuit = loads_bench(open("design.bench").read())
+    result = optimize_circuit(circuit)
+    for name, outcome in result.outcomes.items():
+        print(name, outcome.ser.total, "vs", result.ser_original.total)
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+between the paper and the modules.
+"""
+
+from .errors import (
+    AnalysisError,
+    CombinationalCycleError,
+    InfeasibleError,
+    LibraryError,
+    NetlistError,
+    ParseError,
+    ReproError,
+    RetimingError,
+    SimulationError,
+    TimingError,
+)
+from .netlist import (
+    DFF,
+    CellLibrary,
+    CellType,
+    Circuit,
+    Gate,
+    dump_bench,
+    dump_blif,
+    dump_verilog,
+    dumps_bench,
+    dumps_blif,
+    dumps_verilog,
+    generic_library,
+    load_bench,
+    load_blif,
+    loads_bench,
+    loads_blif,
+    validate_circuit,
+)
+from .graph import RetimingGraph
+from .core.intervals import IntervalSet
+from .core.elw import circuit_elws, graph_elws
+from .core.constraints import Problem, gains, register_observability
+from .core.initialization import initialize
+from .core.minobs import minobs_retiming
+from .core.minobswin import RetimingResult, minobswin_retiming
+from .retime.apply import apply_retiming
+from .retime.minperiod import min_period_retiming
+from .retime.setup_hold import min_period_setup_hold
+from .retime.verify import check_sequential_equivalence
+from .ser.analysis import SerAnalysis, analyze_ser
+from .sim.odc import exact_observability, observability
+from .pipeline import (
+    AlgorithmOutcome,
+    PipelineResult,
+    optimize_circuit,
+    rebuild_retimed,
+    table1_row,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "NetlistError", "ParseError", "CombinationalCycleError",
+    "LibraryError", "RetimingError", "InfeasibleError", "TimingError",
+    "SimulationError", "AnalysisError",
+    # netlist
+    "Circuit", "Gate", "DFF", "CellLibrary", "CellType", "generic_library",
+    "loads_bench", "load_bench", "dumps_bench", "dump_bench",
+    "loads_blif", "load_blif", "dumps_blif", "dump_blif",
+    "dumps_verilog", "dump_verilog", "validate_circuit",
+    # graph / core
+    "RetimingGraph", "IntervalSet", "circuit_elws", "graph_elws",
+    "Problem", "gains", "register_observability", "initialize",
+    "minobs_retiming", "minobswin_retiming", "RetimingResult",
+    # retime
+    "apply_retiming", "min_period_retiming", "min_period_setup_hold",
+    "check_sequential_equivalence",
+    # ser / sim
+    "SerAnalysis", "analyze_ser", "observability", "exact_observability",
+    # pipeline
+    "optimize_circuit", "rebuild_retimed", "table1_row",
+    "PipelineResult", "AlgorithmOutcome",
+]

@@ -1,0 +1,43 @@
+"""Benchmark circuits: synthetic generators and hand-built examples.
+
+The paper evaluates on ISCAS89/ITC99 netlists "obtained from the authors
+of [20]", which are not redistributable.  This package provides:
+
+* :mod:`repro.circuits.generators` -- deterministic synthetic sequential
+  circuits with controllable size, logic depth, register density and
+  feedback (the structural knobs that drive the paper's results);
+* :mod:`repro.circuits.small` -- hand-built circuits: the Fig. 1 ELW
+  trade-off example, classic textbook machines (correlator, counters,
+  LFSRs, pipelines) used by tests and examples;
+* :mod:`repro.circuits.suites` -- the 21-row Table I suite: one synthetic
+  circuit per paper row, matching the row's |V| / |E| / #FF ratios at a
+  configurable scale.
+"""
+
+from .generators import (
+    lfsr_circuit,
+    pipeline_circuit,
+    random_sequential_circuit,
+    ripple_counter_circuit,
+)
+from .small import (
+    figure1_circuit,
+    iscas_s27,
+    simple_feedback_circuit,
+    toy_correlator,
+)
+from .suites import TABLE1_ROWS, table1_circuit, table1_suite
+
+__all__ = [
+    "random_sequential_circuit",
+    "pipeline_circuit",
+    "lfsr_circuit",
+    "ripple_counter_circuit",
+    "figure1_circuit",
+    "iscas_s27",
+    "simple_feedback_circuit",
+    "toy_correlator",
+    "TABLE1_ROWS",
+    "table1_circuit",
+    "table1_suite",
+]

@@ -1,0 +1,12 @@
+"""Internal helper: parse embedded .bench text without import cycles."""
+
+from __future__ import annotations
+
+from ..netlist.bench_format import loads_bench
+from ..netlist.cell_library import CellLibrary
+from ..netlist.circuit import Circuit
+
+
+def _loads(text: str, name: str,
+           library: CellLibrary | None = None) -> Circuit:
+    return loads_bench(text, name=name, library=library)

@@ -1,0 +1,307 @@
+"""Deterministic synthetic sequential-circuit generators.
+
+All generators are seeded and structural: they produce well-formed
+synchronous netlists (every feedback loop broken by a register, no
+register-only cycles) whose size knobs -- gate count, connection count,
+register density, logic depth -- can be tuned to mirror the ISCAS89/ITC99
+rows of Table I (see :mod:`repro.circuits.suites`).
+
+Design notes (what matters for reproducing the paper's behaviour):
+
+* *register placement*: a configurable fraction of gate outputs feed
+  registers, creating the register-to-register paths whose lengths the
+  ELW constraints police;
+* *feedback*: registers close loops back into earlier logic (like FSM
+  state), so time-frame expansion is actually exercised;
+* *reconvergence*: random multi-fanout taps create the reconvergent paths
+  that separate the fast backward ODC propagation from the exact oracle;
+* *op mix*: weighted toward NAND/NOR/AND/OR with some XOR, so signal
+  probabilities stay away from degenerate 0/1 fixpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetlistError
+from ..netlist.circuit import Circuit
+from ..netlist.cell_library import CellLibrary
+
+_OPS_BY_ARITY: dict[int, list[str]] = {
+    1: ["NOT", "BUF"],
+    2: ["NAND", "NOR", "AND", "OR", "XOR"],
+    3: ["NAND", "NOR", "AND", "OR"],
+    4: ["NAND", "NOR", "AND", "OR"],
+}
+_OP_WEIGHTS: dict[int, list[float]] = {
+    1: [0.7, 0.3],
+    2: [0.28, 0.2, 0.2, 0.2, 0.12],
+    3: [0.3, 0.2, 0.3, 0.2],
+    4: [0.3, 0.2, 0.3, 0.2],
+}
+
+
+def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
+                              n_inputs: int = 8, n_outputs: int = 8,
+                              avg_fanin: float = 2.2,
+                              locality: int = 64,
+                              feedback_fraction: float = 0.5,
+                              seed: int = 0,
+                              library: CellLibrary | None = None) -> Circuit:
+    """Generate a random synchronous circuit.
+
+    Parameters
+    ----------
+    n_gates, n_dffs, n_inputs, n_outputs:
+        Structural sizes; ``n_gates`` must be at least 2 and at least as
+        large as ``n_outputs``.
+    avg_fanin:
+        Mean gate fanin; together with ``n_gates`` this sets the
+        connection count (the paper's |E|).
+    locality:
+        Gates prefer sources among the previous ``locality`` nets,
+        producing the layered, locally-connected structure of mapped
+        netlists (and bounded logic depth).
+    feedback_fraction:
+        Fraction of register outputs wired back into the *early* part of
+        the gate list on the next cycle (state feedback); the rest feed
+        forward like pipeline registers.
+    seed:
+        RNG seed; identical arguments always produce identical netlists.
+    """
+    if n_gates < 2:
+        raise NetlistError("need at least 2 gates")
+    if n_inputs < 1:
+        raise NetlistError("need at least 1 primary input")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name, library)
+
+    inputs = [circuit.add_input(f"pi{i}") for i in range(n_inputs)]
+    gate_names = [f"g{i}" for i in range(n_gates)]
+    dff_names = [f"ff{i}" for i in range(n_dffs)]
+
+    # Registers sample their data inputs from the gate list (distinct
+    # driver gates where possible -- one physical register per driver, the
+    # Leiserson-Saxe per-edge register model stays aligned with physical
+    # register counts when register fanout is low); a feedback register is
+    # readable by every gate, a pipeline register only by gates later than
+    # its driver.  Register sources are never the register-reading
+    # state-decode gates (defined below): a reg -> gate -> reg hop on a
+    # feedback cycle would make the cycle hold-infeasible for any
+    # retiming whenever T_h exceeds one gate delay.
+    decode_stride = max(2, round(n_gates / max(1, int(n_dffs * 0.8))))
+    source_pool = np.array([gi for gi in range(n_gates)
+                            if gi % decode_stride != 0])
+    if n_dffs <= len(source_pool):
+        dff_sources = rng.choice(source_pool, size=n_dffs, replace=False)
+    else:
+        dff_sources = source_pool[
+            rng.integers(0, len(source_pool), size=n_dffs)]
+    is_feedback = rng.random(n_dffs) < feedback_fraction
+
+    # Pools of nets gates may read: earlier gates (locality-windowed),
+    # primary inputs (restricted to an input zone near the front, as in
+    # real netlists -- this also preserves retiming freedom: a gate fed
+    # directly by a primary input can never send a register forward), and
+    # register outputs (sampled with low probability so register fanout
+    # stays realistic).
+    pi_zone = max(4, n_gates // 8)
+    dff_read_prob = min(0.9, 1.6 * n_dffs / max(1, n_gates * avg_fanin))
+    dff_source_set = {gate_names[int(s)] for s in dff_sources}
+    # State-decode zone: a slice of gates (interleaved through the list
+    # at decode_stride, like the next-state / output-decode logic of real
+    # designs) that read *pairs* of register outputs.  Registers whose
+    # fanouts converge at a shared gate are exactly what gives retiming
+    # its register-merge moves -- without this, random wiring leaves
+    # almost no freedom.
+    unread: list[str] = []  # nets with no reader yet (keeps logic alive)
+    consumed_dffs: set[str] = set()  # registers already read (fanout 1)
+    for gi, gname in enumerate(gate_names):
+        n_in = int(np.clip(round(rng.normal(avg_fanin, 0.9)), 1, 4))
+        window_start = max(0, gi - locality)
+        pool: list[str] = list(gate_names[window_start:gi])
+        if gi < pi_zone or not pool:
+            pool.extend(inputs)
+        dff_pool = [dname for di, dname in enumerate(dff_names)
+                    if dname not in consumed_dffs
+                    and (is_feedback[di] or dff_sources[di] < gi)]
+
+        chosen_nets: list[str] = []
+        taken: set[str] = set()
+        if gi % decode_stride == 0 and len(dff_pool) >= 2:
+            # State-decode gate: merge two register outputs.  The
+            # registers are consumed (fanout 1) so the Leiserson-Saxe
+            # per-edge register model of the paper's objective (eq. 5)
+            # coincides with the physical register count.
+            picks = sorted(rng.choice(len(dff_pool), size=2,
+                                      replace=False), reverse=True)
+            for p in picks:
+                name = dff_pool.pop(int(p))
+                consumed_dffs.add(name)
+                chosen_nets.append(name)
+                taken.add(name)
+            # Exactly the two registers: any extra (unregistered) input
+            # would block the merge move with a P0 cascade.
+            n_in = 2
+        else:
+            # First input: revive an unread net so no logic goes dead.
+            while unread and len(unread) > max(4, n_inputs):
+                candidate = unread.pop(0)
+                chosen_nets.append(candidate)
+                taken.add(candidate)
+                break
+        while len(chosen_nets) < n_in:
+            if dff_pool and rng.random() < dff_read_prob:
+                pick = dff_pool.pop(int(rng.integers(0, len(dff_pool))))
+                consumed_dffs.add(pick)
+            else:
+                pick = pool[int(rng.integers(0, len(pool)))]
+            if pick in taken:
+                # Tolerate occasional short gates instead of looping.
+                if rng.random() < 0.5:
+                    break
+                continue
+            taken.add(pick)
+            chosen_nets.append(pick)
+        n_in = len(chosen_nets)
+        ops = _OPS_BY_ARITY[n_in]
+        op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[n_in])]
+        circuit.add_gate(gname, op, chosen_nets)
+        for net in chosen_nets:
+            if net in unread:
+                unread.remove(net)
+        if gname not in dff_source_set:
+            unread.append(gname)
+        elif rng.random() < 0.6:
+            # Side observation tap on a register's source gate (the
+            # Fig. 1 structure): the gate is observable both through its
+            # register and through a combinational side path, so moving
+            # the register away genuinely unions differently-shifted
+            # latching windows -- the ELW-growth mechanism the paper's
+            # P2' constraint exists to police.
+            unread.append(gname)
+
+    for di, dname in enumerate(dff_names):
+        circuit.add_dff(dname, gate_names[int(dff_sources[di])], init=0)
+
+    # Output stage: like real netlists, no logic is dead -- leftover
+    # unread nets (gate outputs *and* unread registers) feed pairwise
+    # output-compaction trees whose roots are the primary outputs.  The
+    # trees deepen the logic in front of the outputs, so the initial
+    # circuit has no one-gate register-to-latch paths (which would
+    # degenerate the R_min of Sec. V) and no register is trapped
+    # guarding a primary output (which would make hold repair
+    # impossible: such a register can never move forward).
+    read_dffs = {net for g in circuit.gates.values() for net in g.inputs}
+    sinks = list(dict.fromkeys(unread))
+    sinks.extend(d for d in dff_names if d not in read_dffs)
+    rng.shuffle(sinks)
+    tree_index = 0
+    target = max(2, n_outputs)
+    tree_ops = ["OR", "XOR", "NAND", "AND", "NOR"]
+    while len(sinks) > target:
+        a = sinks.pop(0)
+        b = sinks.pop(0)
+        op = tree_ops[tree_index % len(tree_ops)]
+        name = circuit.add_gate(f"po_t{tree_index}", op, [a, b])
+        tree_index += 1
+        sinks.append(name)
+    for net in sinks:
+        circuit.add_output(net)
+
+    from ..netlist.validate import validate_circuit
+
+    validate_circuit(circuit)
+    return circuit
+
+
+def pipeline_circuit(name: str = "pipeline", stages: int = 4,
+                     width: int = 8, seed: int = 0,
+                     library: CellLibrary | None = None) -> Circuit:
+    """A feed-forward pipelined datapath (register bank between stages).
+
+    Each stage is a shuffle of 2-input gates over the previous stage's
+    registered outputs -- the classic structure where retiming has full
+    freedom to rebalance registers.  Every register is consumed by
+    exactly one gate (a lane permutation plus short intra-stage chains),
+    keeping the Leiserson-Saxe per-edge register model aligned with the
+    physical register count.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name, library)
+    current = [circuit.add_input(f"in{i}") for i in range(width)]
+    for stage in range(stages):
+        perm = rng.permutation(width)
+        stage_nets: list[str] = []
+        for lane in range(width):
+            a = current[int(perm[lane])]
+            # Second operand: the previous gate in this stage (a short
+            # intra-stage chain), so each incoming lane is read once.
+            b = stage_nets[-1] if lane % 4 and stage_nets else \
+                current[int(perm[lane])]
+            ops = _OPS_BY_ARITY[2]
+            op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[2])]
+            if a == b and op == "XOR":
+                op = "NAND"
+            stage_nets.append(
+                circuit.add_gate(f"s{stage}_g{lane}", op, [a, b]))
+        current = [circuit.add_dff(f"s{stage}_r{lane}", net)
+                   for lane, net in enumerate(stage_nets)]
+    for lane, net in enumerate(current):
+        circuit.add_output(net)
+    return circuit
+
+
+def lfsr_circuit(name: str = "lfsr", taps: tuple[int, ...] = (0, 2, 3),
+                 length: int = 8,
+                 library: CellLibrary | None = None) -> Circuit:
+    """A Fibonacci LFSR with an enable input (dense feedback).
+
+    The register chain shifts every cycle; the feedback bit is the XOR of
+    the tapped stages gated by ``en``.  Small, strongly-connected, and a
+    stress test for time-frame expansion.
+    """
+    if any(t >= length for t in taps) or len(taps) < 2:
+        raise NetlistError("taps must be below length and at least two")
+    circuit = Circuit(name, library)
+    en = circuit.add_input("en")
+    stage_names = [f"r{i}" for i in range(length)]
+    # Feedback XOR tree over the taps.
+    prev = stage_names[taps[0]]
+    for k, tap in enumerate(taps[1:]):
+        prev = circuit.add_gate(f"fb{k}", "XOR", [prev, stage_names[tap]])
+    gated = circuit.add_gate("fb_en", "AND", [prev, en])
+    # A seed path so the all-zero state is escapable: OR with NOT(en).
+    nen = circuit.add_gate("nen", "NOT", [en])
+    injected = circuit.add_gate("fb_inject", "OR", [gated, nen])
+    circuit.add_dff(stage_names[0], injected, init=1)
+    for i in range(1, length):
+        buf = circuit.add_gate(f"sh{i}", "BUF", [stage_names[i - 1]])
+        circuit.add_dff(stage_names[i], buf, init=0)
+    circuit.add_output(stage_names[length - 1])
+    circuit.add_output("fb_inject")
+    return circuit
+
+
+def ripple_counter_circuit(name: str = "counter", bits: int = 4,
+                           library: CellLibrary | None = None) -> Circuit:
+    """A synchronous binary up-counter with enable.
+
+    ``bit[i]`` toggles when all lower bits are 1 and ``en`` is high:
+    carry chain of AND gates plus XOR toggles -- long combinational
+    paths ending in registers, good for setup-constraint tests.
+    """
+    if bits < 1:
+        raise NetlistError("need at least one bit")
+    circuit = Circuit(name, library)
+    en = circuit.add_input("en")
+    regs = [f"q{i}" for i in range(bits)]
+    carry = en
+    for i in range(bits):
+        toggle = circuit.add_gate(f"t{i}", "XOR", [regs[i], carry])
+        circuit.add_dff(regs[i], toggle, init=0)
+        if i + 1 < bits:
+            carry = circuit.add_gate(f"c{i}", "AND", [carry, regs[i]])
+    for q in regs:
+        circuit.add_output(q)
+    return circuit

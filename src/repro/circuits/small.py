@@ -1,0 +1,140 @@
+"""Hand-built small circuits used by examples, tests and Figure 1.
+
+:`figure1_circuit` reconstructs the scenario of the paper's Fig. 1: a
+register pair on the fanins of a convergence gate F whose combined
+observability exceeds F's own, so observability-only retiming (MinObs)
+happily merges the registers forward through F -- shrinking register
+observability -- while the move stretches the error-latching windows of
+the upstream gates A and B by F's delay and makes the *total* SER worse.
+The example and benchmark scripts verify both halves numerically.
+"""
+
+from __future__ import annotations
+
+from ..netlist.cell_library import CellLibrary
+from ..netlist.circuit import Circuit
+
+
+def figure1_circuit(depth: int = 4,
+                    library: CellLibrary | None = None) -> Circuit:
+    """The Fig. 1 ELW trade-off circuit.
+
+    Structure per side (registers marked ``|``; the B side mirrors A)::
+
+        x0 -> u0 -> u1 -> ... -> A --+--> hA --> out
+                                     |
+                              x1 ----+    (A = OR(u_last, x1))
+                                     |
+                                 A --|--+
+                                        F --> G --> out
+                                 B --|--+
+
+    Why this reproduces the figure:
+
+    * *observability side*: obs(A) + obs(B) (two registers) exceeds
+      obs(F) (one register after merging forward through the AND), so
+      observability-only retiming (MinObs) makes the move -- the paper's
+      "0.6 -> 0.4" reduction;
+    * *timing side*: each of A and B has a second, shorter observation
+      path (``hA``, a NOT straight to an output).  Before the move their
+      ELW is the union of the latching window (via the register) and the
+      window shifted by d(NOT) -- overlapping.  After the move the
+      register path's window is shifted by d(F) instead, the pieces
+      disjoin, and |ELW| grows by exactly 1 time unit for A, B and every
+      chain gate ``u_i`` upstream -- the figure's "+1";
+    * with ``depth`` chain gates per side the accumulated ELW penalty
+      outweighs the register-observability gain and the total SER gets
+      *worse*, while the shortened register-to-register path (d(G) <
+      R_min) is exactly what P2' forbids: MinObsWin keeps the registers.
+    """
+    c = Circuit("fig1", library)
+    for i in range(4):
+        c.add_input(f"x{i}")
+    for side, (x_chain, x_other) in (("A", ("x0", "x1")),
+                                     ("B", ("x2", "x3"))):
+        prev = x_chain
+        for k in range(depth):
+            prev = c.add_gate(f"u{side}{k}", "NOT", [prev])
+        c.add_gate(side, "OR", [prev, x_other])
+        c.add_gate(f"h{side}", "NOT", [side])
+        c.add_output(f"h{side}")
+        c.add_dff(f"r{side}", side, init=0)
+    c.add_gate("F", "AND", ["rA", "rB"])
+    c.add_gate("G", "BUF", ["F"])
+    c.add_output("G")
+    return c
+
+
+def simple_feedback_circuit(library: CellLibrary | None = None) -> Circuit:
+    """A 2-state controller: minimal circuit with a sequential loop.
+
+    Used by unit tests that need feedback without the bulk of a
+    generator circuit.
+    """
+    c = Circuit("feedback", library)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("next0", "XOR", ["a", "state"])
+    c.add_gate("next1", "NAND", ["next0", "b"])
+    c.add_dff("state", "next1", init=0)
+    c.add_gate("out", "AND", ["state", "a"])
+    c.add_output("out")
+    return c
+
+
+def toy_correlator(library: CellLibrary | None = None) -> Circuit:
+    """The Leiserson-Saxe correlator (the canonical retiming example).
+
+    Compares a 3-deep delayed input stream against itself and sums the
+    matches with XNOR comparators and an OR-combine -- the textbook
+    circuit whose min-period retiming moves registers across the
+    combine tree.
+    """
+    c = Circuit("correlator", library)
+    x = c.add_input("x")
+    d1 = c.add_dff("d1", "x")
+    d2 = c.add_dff("d2", "d1")
+    d3 = c.add_dff("d3", "d2")
+    c1 = c.add_gate("cmp1", "XNOR", [x, d1])
+    c2 = c.add_gate("cmp2", "XNOR", [d1, d2])
+    c3 = c.add_gate("cmp3", "XNOR", [d2, d3])
+    s1 = c.add_gate("sum1", "OR", [c1, c2])
+    s2 = c.add_gate("sum2", "OR", [s1, c3])
+    c.add_output(s2)
+    return c
+
+
+#: The real ISCAS89 s27 benchmark (the only suite member small enough to
+#: ship verbatim; the larger members are synthesized, see suites.py).
+S27_BENCH = """
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def iscas_s27(library: CellLibrary | None = None) -> Circuit:
+    """The genuine ISCAS89 s27 netlist (10 gates, 3 flip-flops).
+
+    Small enough to distribute and to brute-force, so it anchors the
+    synthetic suite to at least one real benchmark circuit.
+    """
+    from .bench_loader import _loads
+
+    return _loads(S27_BENCH, "s27", library)

@@ -1,0 +1,134 @@
+"""The Table I benchmark suite.
+
+One synthetic circuit per row of the paper's Table I, preserving each
+row's name and its |V| / |E| / #FF proportions at a configurable scale
+(the originals range up to 224k gates -- the authors' C++ on a 2 GHz Xeon;
+this is a pure-Python reproduction, so the default scale keeps the
+largest rows around a few thousand gates; see DESIGN.md substitutions).
+
+The row statistics below are copied verbatim from Table I.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..netlist.cell_library import CellLibrary
+from ..netlist.circuit import Circuit
+from .generators import random_sequential_circuit
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Statistics of one Table I circuit (paper values)."""
+
+    name: str
+    vertices: int
+    edges: int
+    registers: int
+    phi_paper: int
+    ser_paper: float
+
+
+#: The 21 circuits of Table I with their published statistics.
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row("s13207", 7952, 10896, 1508, 117, 7.72e-03),
+    Table1Row("s15850.1", 9773, 13566, 1567, 111, 9.77e-03),
+    Table1Row("s35932", 16066, 28588, 5814, 145, 2.42e-02),
+    Table1Row("s38417", 22180, 31127, 2806, 81, 1.59e-02),
+    Table1Row("s38584.1", 19254, 33060, 7371, 262, 2.48e-02),
+    Table1Row("b14_1_opt", 4049, 9036, 2382, 112, 9.15e-03),
+    Table1Row("b14_opt", 5348, 11849, 2041, 135, 9.75e-03),
+    Table1Row("b15_1_opt", 7421, 16946, 2798, 158, 1.25e-02),
+    Table1Row("b15_opt", 7023, 15856, 2415, 195, 1.35e-02),
+    Table1Row("b17_1_opt", 23026, 52376, 8791, 192, 3.92e-02),
+    Table1Row("b17_opt", 22758, 51622, 7787, 266, 3.42e-02),
+    Table1Row("b18_1_opt", 68282, 151746, 21027, 251, 9.42e-02),
+    Table1Row("b18_opt", 69914, 155355, 20907, 255, 9.56e-02),
+    Table1Row("b19_1", 212729, 410577, 59580, 317, 2.45e-01),
+    Table1Row("b19", 224625, 433583, 60801, 317, 2.50e-01),
+    Table1Row("b20_1_opt", 10166, 22456, 3462, 191, 1.63e-02),
+    Table1Row("b20_opt", 11958, 26479, 4761, 182, 2.15e-02),
+    Table1Row("b21_1_opt", 9663, 21246, 2451, 171, 1.22e-02),
+    Table1Row("b21_opt", 12135, 26686, 4186, 215, 1.90e-02),
+    Table1Row("b22_1_opt", 14957, 32663, 4398, 194, 2.19e-02),
+    Table1Row("b22_opt", 17330, 37941, 5556, 178, 2.67e-02),
+)
+
+_ROWS_BY_NAME = {row.name: row for row in TABLE1_ROWS}
+
+_TABLE1_LIBRARY: CellLibrary | None = None
+
+
+def table1_library() -> CellLibrary:
+    """The cell library used by the Table I suite.
+
+    The generic characterization with ``T_h = 3.0``: our library's mean
+    gate delay is about 2.8 units, so a 3-unit hold window spans roughly
+    one gate -- the same T_h-to-delay ratio as the paper's setup (T_h = 2
+    against approximately 2-unit gates, per [23]).  A hold window shorter
+    than every gate would make P2' vacuous (any single-gate path already
+    satisfies it), erasing the MinObs/MinObsWin distinction the paper
+    studies.
+    """
+    global _TABLE1_LIBRARY
+    if _TABLE1_LIBRARY is None:
+        from ..netlist.cell_library import generic_library
+
+        lib = generic_library()
+        lib.hold_time = 3.0
+        lib.name = "table1"
+        _TABLE1_LIBRARY = lib
+    return _TABLE1_LIBRARY
+
+#: Default scale: the largest row (b19, 224k gates) maps to ~4.5k gates.
+DEFAULT_SCALE = 0.02
+#: Smallest circuit the generator will produce for a row.
+MIN_GATES = 120
+
+
+def table1_circuit(name: str, scale: float = DEFAULT_SCALE, seed: int = 0,
+                   library: CellLibrary | None = None) -> Circuit:
+    """Generate the synthetic stand-in for a Table I row.
+
+    ``scale`` multiplies the row's gate and register counts (connection
+    count follows via the row's average fanin); rows are floored at
+    ``MIN_GATES`` gates so small scales stay meaningful.  The seed is
+    derived from the row name, so every call is reproducible and each
+    row gets a distinct circuit.
+
+    The suite uses :func:`table1_library` by default: the generic delay
+    model with the hold time calibrated to about one average gate delay,
+    preserving the paper's [23]-derived relationship (their T_s = 0 and
+    T_h = 2 sit next to roughly 2-unit gate delays) -- the regime where
+    P2' actually polices the MinObs moves.
+    """
+    if library is None:
+        library = table1_library()
+    row = _ROWS_BY_NAME[name]
+    n_gates = max(MIN_GATES, round(row.vertices * scale))
+    ratio = row.registers / row.vertices
+    n_dffs = max(8, round(n_gates * ratio))
+    avg_fanin = row.edges / row.vertices
+    # ISCAS "s" circuits are shallow scan designs; ITC "b" circuits are
+    # deeper control-dominated logic -- reflected in wiring locality.
+    locality = 32 if name.startswith("s") else 96
+    row_seed = (zlib.crc32(name.encode()) ^ seed) & 0x7FFFFFFF
+    n_inputs = max(4, n_gates // 40)
+    n_outputs = max(4, n_gates // 50)
+    return random_sequential_circuit(
+        name=name, n_gates=n_gates, n_dffs=n_dffs, n_inputs=n_inputs,
+        n_outputs=n_outputs, avg_fanin=avg_fanin, locality=locality,
+        feedback_fraction=0.45, seed=row_seed, library=library)
+
+
+def table1_suite(scale: float = DEFAULT_SCALE, seed: int = 0,
+                 names: tuple[str, ...] | None = None,
+                 library: CellLibrary | None = None,
+                 ) -> dict[str, Circuit]:
+    """Generate the whole (or a named subset of the) Table I suite."""
+    rows = TABLE1_ROWS if names is None else \
+        tuple(_ROWS_BY_NAME[n] for n in names)
+    return {row.name: table1_circuit(row.name, scale, seed, library)
+            for row in rows}

@@ -1,0 +1,250 @@
+"""Command-line interface: ``repro-ser`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``analyze``
+    SER analysis (eq. 4) of a ``.bench``/BLIF netlist.
+``retime``
+    Run MinObs or MinObsWin on a netlist and write the retimed netlist.
+``compare``
+    The per-circuit Table I experiment: original vs MinObs vs MinObsWin.
+``table1``
+    Regenerate the whole Table I on the synthetic suite.
+``generate``
+    Emit a synthetic benchmark circuit to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ._util import percent
+from .errors import ReproError
+
+
+def _load(path: str):
+    from .netlist import load_bench, load_blif
+
+    if path.endswith(".blif"):
+        return load_blif(path)
+    return load_bench(path)
+
+
+def _save(circuit, path: str) -> None:
+    from .netlist import dump_bench, dump_blif, dump_verilog
+
+    if path.endswith(".blif"):
+        dump_blif(circuit, path)
+    elif path.endswith(".v"):
+        dump_verilog(circuit, path)
+    else:
+        dump_bench(circuit, path)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .graph.retiming_graph import RetimingGraph
+    from .graph.timing import achieved_period
+    from .ser.analysis import analyze_ser
+    from .ser.report import format_ser_report
+
+    circuit = _load(args.netlist)
+    if args.phi is None:
+        graph = RetimingGraph.from_circuit(circuit)
+        args.phi = achieved_period(graph, graph.zero_retiming(),
+                                   circuit.library.setup_time)
+    analysis = analyze_ser(circuit, args.phi, n_frames=args.frames,
+                           n_patterns=args.patterns, seed=args.seed)
+    print(format_ser_report(circuit.name, analysis, top=args.top))
+    return 0
+
+
+def cmd_retime(args: argparse.Namespace) -> int:
+    from .pipeline import optimize_circuit
+
+    circuit = _load(args.netlist)
+    result = optimize_circuit(
+        circuit, algorithms=(args.algorithm,), n_frames=args.frames,
+        n_patterns=args.patterns, seed=args.seed, epsilon=args.epsilon,
+        maximal_start=args.maximal_start)
+    outcome = result.outcomes[args.algorithm]
+    print(f"circuit      : {circuit.name}")
+    print(f"phi / R_min  : {result.phi:.3f} / {result.init.rmin:.3f}"
+          f"{'  (fallback init)' if result.init.used_fallback else ''}")
+    print(f"registers    : {result.registers} -> {outcome.registers} "
+          f"({percent(outcome.registers, result.registers):+.1f}%)")
+    print(f"SER (eq. 4)  : {result.ser_original.total:.4e} -> "
+          f"{outcome.ser.total:.4e} "
+          f"({percent(outcome.ser.total, result.ser_original.total):+.1f}%)")
+    print(f"solver       : #J={outcome.result.commits} "
+          f"iterations={outcome.result.iterations} "
+          f"time={outcome.result.runtime:.2f}s")
+    if args.output:
+        _save(outcome.circuit, args.output)
+        print(f"retimed netlist written to {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .pipeline import optimize_circuit, table1_row
+    from .ser.report import format_comparison
+
+    circuit = _load(args.netlist)
+    result = optimize_circuit(circuit, n_frames=args.frames,
+                              n_patterns=args.patterns, seed=args.seed,
+                              epsilon=args.epsilon,
+                              maximal_start=args.maximal_start)
+    print(format_comparison([table1_row(result)]))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .circuits.suites import TABLE1_ROWS, table1_circuit
+    from .pipeline import optimize_circuit, table1_row
+    from .ser.report import format_comparison
+
+    names = args.circuits or [row.name for row in TABLE1_ROWS]
+    rows = []
+    results = []
+    for name in names:
+        circuit = table1_circuit(name, scale=args.scale, seed=args.seed)
+        result = optimize_circuit(circuit, n_frames=args.frames,
+                                  n_patterns=args.patterns,
+                                  seed=args.seed, epsilon=args.epsilon,
+                                  maximal_start=args.maximal_start)
+        rows.append(table1_row(result))
+        results.append(result)
+        if args.verbose:
+            print(f"done {name}", file=sys.stderr)
+    print(format_comparison(rows))
+    _print_table1_averages(rows)
+    if args.json:
+        from .reporting import save_results
+
+        save_results(results, args.json)
+        print(f"JSON report written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _print_table1_averages(rows) -> None:
+    import numpy as np
+
+    d_ref = [percent(r["ref_ser"], r["ser"]) for r in rows]
+    d_new = [percent(r["new_ser"], r["ser"]) for r in rows]
+    ratio = [100.0 * r["ref_ser"] / r["new_ser"] for r in rows
+             if r["new_ser"]]
+    dff_ref = [percent(r["ref_ff"], r["FF"]) for r in rows]
+    dff_new = [percent(r["new_ff"], r["FF"]) for r in rows]
+    print(f"AVG  dSER_ref {np.mean(d_ref):+.1f}%  "
+          f"dSER_new {np.mean(d_new):+.1f}%  "
+          f"SER_ref/SER_new {np.mean(ratio):.0f}%  "
+          f"dFF_ref {np.mean(dff_ref):+.1f}%  "
+          f"dFF_new {np.mean(dff_new):+.1f}%")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .circuits.generators import random_sequential_circuit
+    from .circuits.suites import table1_circuit
+
+    if args.row:
+        circuit = table1_circuit(args.row, scale=args.scale,
+                                 seed=args.seed)
+    else:
+        circuit = random_sequential_circuit(
+            args.name, n_gates=args.gates, n_dffs=args.dffs,
+            n_inputs=args.inputs, n_outputs=args.outputs, seed=args.seed)
+    _save(circuit, args.output)
+    stats = circuit.stats()
+    print(f"wrote {args.output}: {stats}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ser",
+        description="Soft-error-aware retiming (Lu & Zhou, DATE 2013)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--frames", type=int, default=15,
+                       help="time-frame expansion depth (paper: 15)")
+        p.add_argument("--patterns", type=int, default=256,
+                       help="simulation patterns K")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("analyze", help="SER analysis of a netlist")
+    p.add_argument("netlist")
+    p.add_argument("--phi", type=float, default=None,
+                   help="clock period (default: combinational period)")
+    p.add_argument("--top", type=int, default=10,
+                   help="contributors to list")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    def solver_opts(p):
+        p.add_argument("--epsilon", type=float, default=0.10,
+                       help="period relaxation of Sec. V")
+        p.add_argument("--maximal-start", action="store_true",
+                       help="start from the pointwise-maximal feasible "
+                            "retiming instead of the Sec. V start")
+
+    p = sub.add_parser("retime", help="retime a netlist for low SER")
+    p.add_argument("netlist")
+    p.add_argument("-a", "--algorithm", default="minobswin",
+                   choices=("minobs", "minobswin"))
+    p.add_argument("-o", "--output", default=None,
+                   help="write the retimed netlist (.bench/.blif/.v)")
+    common(p)
+    solver_opts(p)
+    p.set_defaults(func=cmd_retime)
+
+    p = sub.add_parser("compare", help="MinObs vs MinObsWin on a netlist")
+    p.add_argument("netlist")
+    common(p)
+    solver_opts(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("circuits", nargs="*",
+                   help="row names (default: all 21)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="suite scale factor (default from suites module)")
+    p.add_argument("--json", default=None,
+                   help="also write a machine-readable report here")
+    p.add_argument("-v", "--verbose", action="store_true")
+    common(p)
+    solver_opts(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("generate", help="emit a synthetic benchmark")
+    p.add_argument("output")
+    p.add_argument("--row", default=None,
+                   help="Table I row name to mimic")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--name", default="synthetic")
+    p.add_argument("--gates", type=int, default=400)
+    p.add_argument("--dffs", type=int, default=120)
+    p.add_argument("--inputs", type=int, default=16)
+    p.add_argument("--outputs", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "scale", None) is None and \
+            args.command in ("table1", "generate"):
+        from .circuits.suites import DEFAULT_SCALE
+
+        args.scale = DEFAULT_SCALE
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Exact error-latching windows (eq. 3).
+
+The ELW of a gate is the set of glitch birth times that get latched
+somewhere downstream: ``[phi - T_s, phi + T_h]`` at register inputs and
+primary outputs, and ``union over fanouts f of (ELW(f) - d(f))`` through
+combinational fanout (eq. 3).  Unlike the L/R boundary labels used inside
+the optimization (eq. 6), these are exact interval unions -- the paper's
+SER numbers are computed with "the real size of the ELW" (Sec. VI), and so
+are ours.
+
+Two views are provided:
+
+* :func:`graph_elws` -- per retiming-graph vertex, under an arbitrary
+  retiming label (used by analyses that stay in graph space);
+* :func:`circuit_elws` -- per netlist net, covering gates *and* registers
+  (a register is a zero-delay wire through the register boundary:
+  its window comes from its readers; a register feeding another register
+  is latched directly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..graph.retiming_graph import RetimingGraph
+from ..netlist.circuit import Circuit
+from .intervals import IntervalSet
+
+
+def latching_window(phi: float, setup: float, hold: float) -> IntervalSet:
+    """The register latching window ``[phi - T_s, phi + T_h]``."""
+    return IntervalSet.single(phi - setup, phi + hold)
+
+
+def graph_elws(graph: RetimingGraph, r: Sequence[int] | np.ndarray,
+               phi: float, setup: float = 0.0,
+               hold: float = 2.0) -> list[IntervalSet]:
+    """Exact ELW of every retiming-graph vertex under retiming ``r``.
+
+    Registered fanout edges and edges into the host (primary outputs)
+    contribute the latching window; register-free edges contribute the
+    fanout's ELW shifted by the fanout's delay.  The host entry (index 0)
+    is the empty set.
+    """
+    weights = graph.retimed_weights(r)
+    order = graph.zero_weight_topo(r)
+    window = latching_window(phi, setup, hold)
+    elws: list[IntervalSet] = [IntervalSet.empty()] * graph.n_vertices
+    for u in reversed(order):
+        parts: list[IntervalSet] = []
+        for eidx in graph.out_edges[u]:
+            edge = graph.edges[eidx]
+            if edge.v == 0 or weights[eidx] > 0:
+                parts.append(window)
+            else:
+                parts.append(elws[edge.v] - graph.delays[edge.v])
+        if parts:
+            elws[u] = parts[0].union(*parts[1:])
+    return elws
+
+
+def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
+                 hold: float = 2.0) -> dict[str, IntervalSet]:
+    """Exact ELW of every net of ``circuit`` (gates, registers and inputs).
+
+    Per net, readers contribute:
+
+    * a register (flip-flop data input): the latching window;
+    * a primary output: the latching window (the paper treats POs as
+      latch points, ``g in RO``);
+    * a gate ``f``: ``ELW(f) - d(f)``.
+    """
+    window = latching_window(phi, setup, hold)
+    po_nets = set(circuit.outputs)
+
+    # Readers per net.
+    gate_readers: dict[str, list[str]] = {n: [] for n in circuit.nets}
+    dff_read: dict[str, bool] = {n: False for n in circuit.nets}
+    for gate in circuit.gates.values():
+        for net in set(gate.inputs):
+            gate_readers[net].append(gate.name)
+    for dff in circuit.dffs.values():
+        dff_read[dff.d] = True
+
+    elws: dict[str, IntervalSet] = {}
+
+    def net_elw(net: str) -> IntervalSet:
+        parts: list[IntervalSet] = []
+        if net in po_nets or dff_read[net]:
+            parts.append(window)
+        for reader in gate_readers[net]:
+            parts.append(elws[reader] - circuit.gate_delay(reader))
+        if not parts:
+            return IntervalSet.empty()
+        return parts[0].union(*parts[1:])
+
+    for gate_name in reversed(circuit.topo_gates()):
+        elws[gate_name] = net_elw(gate_name)
+    for net in list(circuit.inputs) + list(circuit.dffs):
+        elws[net] = net_elw(net)
+    return elws
+
+
+def register_elws(circuit: Circuit, phi: float, setup: float = 0.0,
+                  hold: float = 2.0,
+                  elws: Mapping[str, IntervalSet] | None = None,
+                  ) -> dict[str, IntervalSet]:
+    """ELW of every flip-flop output net (subset view of
+    :func:`circuit_elws`)."""
+    if elws is None:
+        elws = circuit_elws(circuit, phi, setup, hold)
+    return {name: elws[name] for name in circuit.dffs}

@@ -1,0 +1,31 @@
+"""The Efficient MinObs baseline (the problem of [17]).
+
+Krishnaswamy et al. [17] retime for minimum register observability under
+the clock-period constraint only -- logic masking without the ELW / timing
+masking control.  The paper builds its baseline by disabling the P2'
+machinery of Algorithm 1 ("commenting out Line 9-12 and 19-21"), which
+reduces it to an efficient regular-forest solver of the same problem the
+LP of [17] solves; this module is exactly that construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import Problem
+from .minobswin import RetimingResult, minobswin_retiming
+
+
+def minobs_retiming(problem: Problem, r0: np.ndarray,
+                    restart: bool = True, jump: bool = True,
+                    max_iterations: int | None = None,
+                    keep_trace: bool = False) -> RetimingResult:
+    """Minimum-observability retiming without ELW constraints.
+
+    Identical interface to
+    :func:`repro.core.minobswin.minobswin_retiming`; the instance's
+    ``rmin`` is ignored because P2' is never checked.
+    """
+    return minobswin_retiming(problem, r0, skip_p2=True, restart=restart,
+                              jump=jump, max_iterations=max_iterations,
+                              keep_trace=keep_trace)

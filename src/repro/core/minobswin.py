@@ -1,0 +1,223 @@
+"""The MinObsWin algorithm (Algorithm 1 of the paper).
+
+Incremental, optimal-in-practice solver for Problem 1: starting from a
+feasible retiming, repeatedly select the candidate set ``I = V_P(F)`` from
+the weighted regular forest, tentatively decrease ``r`` on ``I`` by the
+per-vertex weights, and either
+
+* commit the move (no constraint violated) -- committed updates are the
+  paper's iteration count ``#J``; an exponential *jump* multiplier lets a
+  single commit move registers as far as feasibility allows, or
+* diagnose the first violation into an active constraint (Fig. 2) and
+  update the forest (with BreakTree weight updates, Sec. IV-C), or
+* pin the moving tree to the host when the violation is unfixable
+  (registers would have to cross a primary output -- the paper's
+  immediate-exit cases).
+
+A pass ends when no positive tree remains.  Because the forest stores at
+most ``|V| - 1`` constraints, a stale constraint could end a pass early;
+the solver therefore restarts with a fresh forest until a whole pass
+commits nothing (``restart=False`` reproduces the single-pass behaviour).
+Optimality is cross-checked against brute force and an LP oracle in the
+test suite.
+
+The MinObs baseline of [17] is this same engine with the P2' machinery
+disabled -- the paper's own construction ("commenting out Line 9-12 and
+19-21"); see :mod:`repro.core.minobs`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InfeasibleError, RetimingError
+from .constraints import Problem, Violation, check_constraints, find_violations
+from .regular_forest import RegularForest
+
+
+@dataclass
+class RetimingResult:
+    """Outcome of a MinObs / MinObsWin run.
+
+    Attributes
+    ----------
+    r:
+        The final retiming labels (host first, ``r[0] == 0``).
+    objective:
+        Final value of ``sum_v -b(v) r(v)`` (larger is better).
+    commits:
+        Number of committed retiming updates -- reported as the paper's
+        ``#J`` column.
+    iterations:
+        Total main-loop iterations (tentative checks).
+    passes:
+        Number of fresh-forest passes run (1 when the first pass finds no
+        improvement to make).
+    constraints_added:
+        Active constraints recorded across all passes.
+    blocked:
+        Trees pinned to the host due to unfixable violations.
+    runtime:
+        Wall-clock seconds.
+    trace:
+        Optional per-event log (``keep_trace=True``): ``("commit", gain)``
+        and ``("constraint", kind, p, q, weight)`` tuples.
+    """
+
+    r: np.ndarray
+    objective: int
+    commits: int
+    iterations: int
+    passes: int
+    constraints_added: int
+    blocked: int
+    runtime: float
+    trace: list[tuple] = field(default_factory=list)
+
+
+def minobswin_retiming(problem: Problem, r0: np.ndarray,
+                       skip_p2: bool = False, restart: bool = True,
+                       jump: bool = True, max_iterations: int | None = None,
+                       keep_trace: bool = False) -> RetimingResult:
+    """Solve Problem 1 starting from the feasible retiming ``r0``.
+
+    Parameters
+    ----------
+    problem:
+        The Problem 1 instance (graph, clock, R_min, gains).
+    r0:
+        A feasible starting retiming (see
+        :mod:`repro.core.initialization`); validated before solving.
+    skip_p2:
+        Disable the P2' (ELW) machinery -- yields the Efficient MinObs
+        baseline of [17].
+    restart:
+        Re-run with a fresh forest until a pass commits nothing.
+    jump:
+        Use exponential commit multipliers (the committed-update count
+        ``#J`` stays logarithmic in the registers moved).
+    max_iterations:
+        Safety cap; defaults to ``200 |V| + 10000``.
+    keep_trace:
+        Record the event trace in the result.
+    """
+    graph = problem.graph
+    start = time.perf_counter()
+    r = np.asarray(r0, dtype=np.int64).copy()
+    graph.validate_retiming(r)
+    first_violation = check_constraints(problem, r, skip_p2=skip_p2)
+    if first_violation is not None:
+        raise InfeasibleError(
+            f"initial retiming violates {first_violation.kind}: "
+            f"{first_violation.note}")
+
+    if max_iterations is None:
+        max_iterations = 200 * graph.n_vertices + 10_000
+
+    forest = RegularForest(problem.b, pinned=0)
+    trace: list[tuple] = []
+    iterations = commits = passes = constraints_added = blocked = 0
+
+    while True:
+        passes += 1
+        pass_commits = 0
+        forest.reset()
+        multiplier = 1
+        seen_diagnoses: dict[tuple, int] = {}
+
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RetimingError(
+                    f"solver exceeded {max_iterations} iterations; "
+                    "this indicates a diagnosis loop (please report)")
+            delta = forest.positive_delta()
+            if not delta.any():
+                break  # pass exhausted
+
+            move = delta * multiplier
+            tentative = r - move
+            violations = find_violations(problem, tentative, move,
+                                         skip_p2=skip_p2)
+            if not violations:
+                r = tentative
+                commits += 1
+                pass_commits += 1
+                if keep_trace:
+                    trace.append(
+                        ("commit", int((problem.b * move).sum())))
+                if jump:
+                    multiplier *= 2
+                continue
+
+            if multiplier > 1:
+                # Diagnose at unit step for exact active constraints.
+                multiplier = 1
+                continue
+
+            # The whole batch shares one timing pass: every diagnosis is
+            # a sound implication for the same tentative move.
+            for violation in violations:
+                key = (violation.kind, violation.p, violation.q,
+                       violation.deficit)
+                seen_diagnoses[key] = seen_diagnoses.get(key, 0) + 1
+                outcome = _apply_violation(forest, violation, delta,
+                                           repeat=seen_diagnoses[key])
+                if outcome == "constraint":
+                    constraints_added += 1
+                else:
+                    blocked += 1
+                if keep_trace:
+                    trace.append(
+                        ("constraint", violation.kind, violation.p,
+                         violation.q, violation.deficit, outcome))
+
+        if pass_commits == 0 or not restart:
+            break
+
+    objective = problem.objective(r)
+    return RetimingResult(
+        r=r, objective=objective, commits=commits, iterations=iterations,
+        passes=passes, constraints_added=constraints_added, blocked=blocked,
+        runtime=time.perf_counter() - start, trace=trace)
+
+
+def _apply_violation(forest: RegularForest, violation: Violation,
+                     delta: np.ndarray, repeat: int = 1) -> str:
+    """Update the forest for one diagnosed violation.
+
+    Returns ``"constraint"`` when an active constraint was recorded, or
+    ``"pinned"`` when the move had to be withdrawn (unfixable violation,
+    unidentified mover, an already-implied constraint, or a diagnosis
+    that keeps repeating -- the pin guarantees forward progress in all
+    fallback cases).
+
+    Weights are monotone within a pass (``max`` of the stored and newly
+    required amounts): BreakTree severs constraints, so oscillating
+    weights could otherwise replay the same diagnosis forever.
+    """
+    if not violation.fixable or violation.p < 0 or repeat > 3:
+        _pin_movers(forest, violation, delta)
+        return "pinned"
+
+    required = int(delta[violation.q]) + violation.deficit
+    required = max(required, forest.weight[violation.q])
+    if forest.add_constraint(violation.p, violation.q, required):
+        return "constraint"
+    # The constraint was already implied yet the violation persists --
+    # should not happen; withdraw the move to guarantee progress.
+    _pin_movers(forest, violation, delta)
+    return "pinned"
+
+
+def _pin_movers(forest: RegularForest, violation: Violation,
+                delta: np.ndarray) -> None:
+    """Pin the tree(s) responsible for an unresolvable violation."""
+    if violation.p >= 0:
+        forest.pin_tree(violation.p)
+        return
+    for v in np.nonzero(delta)[0]:
+        forest.pin_tree(int(v))

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A netlist is malformed (bad references, duplicate names, arity)."""
+
+
+class ParseError(NetlistError):
+    """A netlist file could not be parsed.
+
+    Attributes
+    ----------
+    path:
+        File the error occurred in, or ``None`` when parsing a string.
+    line:
+        1-based line number of the offending line, or ``None``.
+    """
+
+    def __init__(self, message: str, path: str | None = None, line: int | None = None):
+        self.path = path
+        self.line = line
+        location = ""
+        if path is not None:
+            location = f"{path}:"
+        if line is not None:
+            location += f"{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class CombinationalCycleError(NetlistError):
+    """The combinational part of a circuit contains a cycle.
+
+    A synchronous sequential circuit must break every feedback loop with at
+    least one register; a register-free cycle makes timing and simulation
+    undefined.
+
+    Attributes
+    ----------
+    cycle:
+        A list of gate names forming the cycle, in order.
+    """
+
+    def __init__(self, cycle: list[str]):
+        self.cycle = list(cycle)
+        super().__init__(
+            "combinational cycle: " + " -> ".join(self.cycle + self.cycle[:1])
+        )
+
+
+class LibraryError(ReproError):
+    """A cell type is unknown or used with an unsupported arity."""
+
+
+class RetimingError(ReproError):
+    """A retiming operation failed (infeasible constraints, invalid label)."""
+
+
+class InfeasibleError(RetimingError):
+    """No retiming satisfies the requested constraints.
+
+    Raised e.g. when the requested clock period is below the min achievable
+    period, or when an initial feasible retiming cannot be constructed.
+    """
+
+
+class TimingError(ReproError):
+    """Timing analysis failed (e.g. negative delay, inconsistent labels)."""
+
+
+class SimulationError(ReproError):
+    """Logic simulation failed (e.g. mismatched vector lengths)."""
+
+
+class AnalysisError(ReproError):
+    """SER / observability analysis failed."""

@@ -1,0 +1,26 @@
+"""Leiserson-Saxe retiming graph, static timing, and path matrices."""
+
+from .retiming_graph import HOST, Edge, RetimingGraph
+from .timing import (
+    BoundaryLabels,
+    TimingAnalysis,
+    achieved_period,
+    arrival_times,
+    boundary_labels,
+    shortest_path_through,
+)
+from .paths import exact_min_period, wd_matrices
+
+__all__ = [
+    "HOST",
+    "Edge",
+    "RetimingGraph",
+    "BoundaryLabels",
+    "TimingAnalysis",
+    "achieved_period",
+    "arrival_times",
+    "boundary_labels",
+    "shortest_path_through",
+    "exact_min_period",
+    "wd_matrices",
+]

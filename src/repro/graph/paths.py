@@ -1,0 +1,131 @@
+"""W/D path matrices of classical retiming (Leiserson-Saxe).
+
+For every ordered vertex pair ``(u, v)`` connected by a path:
+
+* ``W(u, v)``: the minimum number of registers on any path from ``u`` to
+  ``v``;
+* ``D(u, v)``: the maximum total vertex delay (including both endpoints)
+  among the paths achieving ``W(u, v)``.
+
+These matrices drive the traditional ILP / min-cost-flow formulations of
+min-period and min-area retiming (and of the MinObs LP of [17]).  Their
+``Theta(|V|^2)`` footprint is exactly the bottleneck the paper's regular
+forest avoids, so in this repo they serve three support roles only: the LP
+oracle on small circuits, exact min-period computation in tests, and the
+memory-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from .retiming_graph import RetimingGraph
+
+
+def wd_matrices(graph: RetimingGraph,
+                max_vertices: int = 4000) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the ``W`` and ``D`` matrices of ``graph``.
+
+    Uses one Dijkstra run per source with the lexicographic edge cost
+    ``(w(e), -d(u))`` of Leiserson-Saxe.  Pairs with no connecting path get
+    ``W = +inf`` and ``D = -inf``.
+
+    Parameters
+    ----------
+    max_vertices:
+        Guard rail: raises :class:`MemoryError` when the quadratic tables
+        would exceed this vertex count (this function intentionally does
+        not scale; see module docstring).
+    """
+    n = graph.n_vertices
+    if n > max_vertices:
+        raise MemoryError(
+            f"W/D matrices need Theta(|V|^2) = {n}^2 entries; "
+            f"refusing above {max_vertices} vertices")
+    W = np.full((n, n), math.inf)
+    D = np.full((n, n), -math.inf)
+    delays = np.asarray(graph.delays, dtype=float)
+
+    # Paths never route through the host: the environment is not
+    # combinational logic, and host round-trips (a zero-delay, possibly
+    # zero-register PO -> host -> PI cycle) would make the lexicographic
+    # relaxation diverge (delay can grow forever at zero register cost).
+    for source in range(1, n):
+        # dist[v] = lexicographically minimal (registers, -delay-before-v)
+        dist: list[tuple[float, float]] = [(math.inf, math.inf)] * n
+        dist[source] = (0, -delays[source])
+        heap: list[tuple[float, float, int]] = [(0, -delays[source], source)]
+        while heap:
+            wu, negd, u = heapq.heappop(heap)
+            if (wu, negd) > dist[u]:
+                continue
+            for eidx in graph.out_edges[u]:
+                e = graph.edges[eidx]
+                if e.v == 0:
+                    continue
+                cand = (wu + e.w, negd - delays[e.v])
+                if cand < dist[e.v]:
+                    dist[e.v] = cand
+                    heapq.heappush(heap, (cand[0], cand[1], e.v))
+        for v in range(1, n):
+            wv, negd = dist[v]
+            if math.isfinite(wv):
+                W[source, v] = wv
+                D[source, v] = -negd
+    return W, D
+
+
+def exact_min_period(graph: RetimingGraph, setup: float = 0.0) -> float:
+    """Exact minimum achievable clock period over all retimings.
+
+    Classical characterization: period ``phi`` is achievable iff for every
+    pair with ``D(u, v) > phi - setup`` the constraint
+    ``r(u) - r(v) <= W(u, v) - 1`` (together with P0) is feasible; the
+    optimum is one of the distinct ``D`` values.  This routine binary
+    searches the sorted ``D`` values, testing feasibility with Bellman-Ford
+    on the difference-constraint graph.  Quadratic memory: small circuits
+    only.
+    """
+    W, D = wd_matrices(graph)
+    candidates = np.unique(D[np.isfinite(D)])
+    lo, hi = 0, len(candidates) - 1
+    best = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        phi = float(candidates[mid]) + setup
+        if _feasible_with_wd(graph, W, D, phi, setup):
+            best = phi
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise ValueError("no feasible period found (graph has no paths?)")
+    return best
+
+
+def _feasible_with_wd(graph: RetimingGraph, W: np.ndarray, D: np.ndarray,
+                      phi: float, setup: float) -> bool:
+    """Bellman-Ford feasibility of the period-``phi`` difference constraints."""
+    n = graph.n_vertices
+    # Constraints r(u) - r(v) <= c as edges v -> u with weight c.
+    constraints: list[tuple[int, int, float]] = []
+    for e in graph.edges:
+        constraints.append((e.v, e.u, e.w))  # r(u) - r(v) <= w(e)  (P0)
+    target = phi - setup
+    for u in range(n):
+        for v in range(n):
+            if math.isfinite(W[u, v]) and D[u, v] > target + 1e-9:
+                constraints.append((v, u, W[u, v] - 1))
+    dist = [0.0] * n
+    for _ in range(n):
+        changed = False
+        for v, u, c in constraints:
+            if dist[v] + c < dist[u] - 1e-12:
+                dist[u] = dist[v] + c
+                changed = True
+        if not changed:
+            return True
+    return not changed

@@ -1,0 +1,43 @@
+"""Sequential-circuit netlist data model and file-format I/O.
+
+The netlist package provides:
+
+* :mod:`repro.netlist.cell_library` -- combinational cell types with delay
+  and raw soft-error-rate characterization.
+* :mod:`repro.netlist.circuit` -- the :class:`~repro.netlist.circuit.Circuit`
+  data model (gates, D flip-flops, primary inputs/outputs).
+* :mod:`repro.netlist.bench_format` -- ISCAS89 ``.bench`` reader/writer.
+* :mod:`repro.netlist.blif_format` -- BLIF subset reader/writer.
+* :mod:`repro.netlist.verilog_format` -- structural Verilog writer and
+  subset reader.
+* :mod:`repro.netlist.validate` -- structural sanity checks.
+"""
+
+from .cell_library import CellLibrary, CellType, generic_library
+from .circuit import DFF, Circuit, Gate
+from .bench_format import loads_bench, load_bench, dumps_bench, dump_bench
+from .blif_format import loads_blif, load_blif, dumps_blif, dump_blif
+from .verilog_format import dumps_verilog, dump_verilog, loads_verilog, load_verilog
+from .validate import validate_circuit
+
+__all__ = [
+    "CellLibrary",
+    "CellType",
+    "generic_library",
+    "Circuit",
+    "Gate",
+    "DFF",
+    "loads_bench",
+    "load_bench",
+    "dumps_bench",
+    "dump_bench",
+    "loads_blif",
+    "load_blif",
+    "dumps_blif",
+    "dump_blif",
+    "dumps_verilog",
+    "dump_verilog",
+    "loads_verilog",
+    "load_verilog",
+    "validate_circuit",
+]

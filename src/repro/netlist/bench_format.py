@@ -1,0 +1,134 @@
+"""ISCAS89 ``.bench`` netlist reader and writer.
+
+The ``.bench`` format is the native format of the ISCAS89 benchmark suite
+the paper evaluates on::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NAND(G0, G10)
+    G17 = NOT(G14)
+
+Supported operators: the gate set of :mod:`repro.netlist.cell_library`
+(``AND``/``NAND``/``OR``/``NOR``/``XOR``/``XNOR``/``NOT``/``BUF``/
+``CONST0``/``CONST1``) plus ``DFF``.  Names are case-sensitive; operator
+keywords are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+from ..errors import ParseError
+from .cell_library import SUPPORTED_OPS, CellLibrary
+from .circuit import Circuit
+
+_OPS = set(SUPPORTED_OPS)
+
+
+def loads_bench(text: str, name: str = "bench",
+                library: CellLibrary | None = None,
+                path: str | None = None) -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Declarations may appear in any order (the format allows forward
+    references); validation of references happens after the full file is
+    read.
+    """
+    circuit = Circuit(name, library)
+    pending_outputs: list[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") or upper.startswith("OUTPUT("):
+            keyword, rest = line.split("(", 1)
+            if not rest.rstrip().endswith(")"):
+                raise ParseError("missing ')'", path, lineno)
+            net = rest.rstrip()[:-1].strip()
+            if not net:
+                raise ParseError(f"empty {keyword.upper()} declaration",
+                                 path, lineno)
+            if keyword.upper() == "INPUT":
+                circuit.add_input(net)
+            else:
+                pending_outputs.append(net)
+            continue
+
+        if "=" not in line:
+            raise ParseError(f"cannot parse line {line!r}", path, lineno)
+        lhs, rhs = (part.strip() for part in line.split("=", 1))
+        if "(" not in rhs or not rhs.endswith(")"):
+            raise ParseError(f"cannot parse expression {rhs!r}", path, lineno)
+        op, args_text = rhs.split("(", 1)
+        op = op.strip().upper()
+        args_text = args_text[:-1].strip()
+        args = [a.strip() for a in args_text.split(",")] if args_text else []
+        if args_text and any(not a for a in args):
+            raise ParseError(f"empty argument in {rhs!r}", path, lineno)
+
+        try:
+            if op == "DFF":
+                if len(args) != 1:
+                    raise ParseError("DFF takes exactly one input", path, lineno)
+                circuit.add_dff(lhs, args[0])
+            elif op in _OPS:
+                circuit.add_gate(lhs, op, args)
+            else:
+                raise ParseError(f"unknown operator {op!r}", path, lineno)
+        except ParseError:
+            raise
+        except Exception as exc:  # library / netlist errors -> parse errors
+            raise ParseError(str(exc), path, lineno) from exc
+
+    for net in pending_outputs:
+        circuit.add_output(net)
+
+    # Reference check now that the whole file is read.
+    from .validate import validate_circuit
+
+    validate_circuit(circuit, require_outputs=False)
+    return circuit
+
+
+def load_bench(path: str | os.PathLike[str],
+               library: CellLibrary | None = None) -> Circuit:
+    """Read a ``.bench`` file from ``path``."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    base = os.path.splitext(os.path.basename(path))[0]
+    return loads_bench(text, name=base, library=library, path=path)
+
+
+def dumps_bench(circuit: Circuit) -> str:
+    """Serialize ``circuit`` to ``.bench`` source text.
+
+    Gates are emitted in topological order so the file is also readable by
+    strictly single-pass parsers.
+    """
+    out = io.StringIO()
+    out.write(f"# {circuit.name}\n")
+    stats = circuit.stats()
+    out.write(f"# {stats['inputs']} inputs, {stats['outputs']} outputs, "
+              f"{stats['dffs']} D-type flip-flops, {stats['gates']} gates\n")
+    for net in circuit.inputs:
+        out.write(f"INPUT({net})\n")
+    for net in circuit.outputs:
+        out.write(f"OUTPUT({net})\n")
+    for dff in circuit.dffs.values():
+        out.write(f"{dff.name} = DFF({dff.d})\n")
+    for gate_name in circuit.topo_gates():
+        gate = circuit.gates[gate_name]
+        out.write(f"{gate.name} = {gate.op}({', '.join(gate.inputs)})\n")
+    return out.getvalue()
+
+
+def dump_bench(circuit: Circuit, path: str | os.PathLike[str]) -> None:
+    """Write ``circuit`` to ``path`` in ``.bench`` format."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write(dumps_bench(circuit))

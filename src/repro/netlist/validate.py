@@ -1,0 +1,55 @@
+"""Structural sanity checks for circuits.
+
+``validate_circuit`` performs the checks every downstream analysis assumes:
+defined references, acyclic combinational logic, supported arities, and
+(optionally) that the circuit is *synchronous-well-formed*: every feedback
+loop passes through at least one register.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .cell_library import check_arity
+from .circuit import Circuit
+
+
+def validate_circuit(circuit: Circuit, *, require_outputs: bool = True) -> None:
+    """Raise :class:`~repro.errors.NetlistError` if ``circuit`` is malformed.
+
+    Checks performed:
+
+    * every gate input, flip-flop data input and primary output references a
+      defined net;
+    * every gate's operator/arity pair is in the cell library's range;
+    * the combinational logic is acyclic (this also proves every sequential
+      loop is broken by a register);
+    * no register-only cycles (a flip-flop loop with no gate in between);
+    * optionally, the circuit has at least one primary output or flip-flop
+      (otherwise nothing is observable and SER is trivially zero).
+    """
+    for gate in circuit.gates.values():
+        check_arity(gate.op, len(gate.inputs))
+        for net in gate.inputs:
+            if not circuit.is_net(net):
+                raise NetlistError(
+                    f"gate {gate.name!r} reads undefined net {net!r}")
+    for dff in circuit.dffs.values():
+        if not circuit.is_net(dff.d):
+            raise NetlistError(
+                f"dff {dff.name!r} reads undefined net {dff.d!r}")
+    for net in circuit.outputs:
+        if not circuit.is_net(net):
+            raise NetlistError(f"primary output references undefined net {net!r}")
+
+    # Raises CombinationalCycleError when gate-only feedback exists.
+    circuit.topo_gates()
+
+    # Register-only cycles are not broken by topo_gates (registers are not
+    # part of the combinational order), so check them explicitly.
+    for dff in circuit.dffs.values():
+        circuit.comb_source(dff.name)
+
+    if require_outputs and not circuit.outputs and not circuit.dffs:
+        raise NetlistError(
+            f"circuit {circuit.name!r} has no outputs and no registers; "
+            "nothing is observable")

@@ -1,0 +1,250 @@
+"""Structural Verilog writer and (subset) reader.
+
+Emits a synthesizable structural Verilog-2001 module for a
+:class:`~repro.netlist.circuit.Circuit`, using Verilog primitive gates for
+the combinational logic and a behavioural ``always @(posedge clk)`` block
+for the registers.  The reader parses the same structural subset back
+(primitive gate instantiations, single-clock non-blocking register
+assignments, ``assign`` of constants/aliases), so exported netlists round
+trip; it is not a general Verilog front end.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+
+from ..errors import ParseError
+from .circuit import Circuit
+
+_PRIMITIVE = {
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+    "NOT": "not",
+    "BUF": "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _vname(net: str) -> str:
+    """Escape a net name into a legal Verilog identifier."""
+    if _ID_RE.match(net):
+        return net
+    return "\\" + net + " "
+
+
+def dumps_verilog(circuit: Circuit, clock: str = "clk") -> str:
+    """Serialize ``circuit`` as a structural Verilog module."""
+    out = io.StringIO()
+    ports = [clock] + [_vname(n) for n in circuit.inputs]
+    # Output ports must be distinct nets; duplicate POs get their own port
+    # wired to the shared net.
+    po_ports: list[tuple[str, str]] = []
+    used: set[str] = set()
+    for i, net in enumerate(circuit.outputs):
+        port = f"po_{i}_{net}" if net in used else net
+        used.add(net)
+        po_ports.append((port, net))
+    ports += [_vname(p) for p, _ in po_ports]
+
+    out.write(f"module {_vname(circuit.name)} (\n")
+    out.write(",\n".join(f"  {p}" for p in ports))
+    out.write("\n);\n")
+    out.write(f"  input {_vname(clock)};\n")
+    for net in circuit.inputs:
+        out.write(f"  input {_vname(net)};\n")
+    for port, _net in po_ports:
+        out.write(f"  output {_vname(port)};\n")
+    for name in circuit.gates:
+        out.write(f"  wire {_vname(name)};\n")
+    for name in circuit.dffs:
+        out.write(f"  reg {_vname(name)};\n")
+
+    out.write("\n  // combinational gates\n")
+    for index, gate_name in enumerate(circuit.topo_gates()):
+        gate = circuit.gates[gate_name]
+        if gate.op == "CONST0":
+            out.write(f"  assign {_vname(gate.name)} = 1'b0;\n")
+        elif gate.op == "CONST1":
+            out.write(f"  assign {_vname(gate.name)} = 1'b1;\n")
+        else:
+            prim = _PRIMITIVE[gate.op]
+            args = ", ".join([_vname(gate.name)] +
+                             [_vname(i) for i in gate.inputs])
+            out.write(f"  {prim} g{index} ({args});\n")
+
+    if circuit.dffs:
+        out.write("\n  // registers\n")
+        out.write(f"  always @(posedge {_vname(clock)}) begin\n")
+        for dff in circuit.dffs.values():
+            out.write(f"    {_vname(dff.name)} <= {_vname(dff.d)};\n")
+        out.write("  end\n")
+        inits = ", ".join(
+            f"{_vname(d.name)} = 1'b{d.init}" for d in circuit.dffs.values())
+        out.write(f"  initial begin {inits}; end\n")
+
+    if po_ports:
+        out.write("\n  // primary outputs\n")
+        for port, net in po_ports:
+            if port != net:
+                out.write(f"  assign {_vname(port)} = {_vname(net)};\n")
+    out.write("endmodule\n")
+    return out.getvalue()
+
+
+def dump_verilog(circuit: Circuit, path: str | os.PathLike[str],
+                 clock: str = "clk") -> None:
+    """Write ``circuit`` to ``path`` as structural Verilog."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write(dumps_verilog(circuit, clock=clock))
+
+
+_REVERSE_PRIMITIVE = {v: k for k, v in _PRIMITIVE.items()}
+
+
+def _unescape(token: str) -> str:
+    """Undo :func:`_vname` escaping."""
+    token = token.strip()
+    if token.startswith("\\"):
+        return token[1:]
+    return token
+
+
+def _split_args(text: str) -> list[str]:
+    return [_unescape(part) for part in text.split(",") if part.strip()]
+
+
+def loads_verilog(text: str, clock: str = "clk",
+                  library=None, path: str | None = None) -> Circuit:
+    """Parse the structural-Verilog subset emitted by :func:`dumps_verilog`.
+
+    Supported constructs: one module; ``input``/``output``/``wire``/
+    ``reg`` declarations; primitive gate instantiations (``and``, ``or``,
+    ``nand``, ``nor``, ``xor``, ``xnor``, ``not``, ``buf``); ``assign``
+    of ``1'b0``/``1'b1`` constants or net aliases; a single
+    ``always @(posedge <clock>)`` block of non-blocking assignments; an
+    optional ``initial begin`` block setting register power-up values.
+    Anything else raises :class:`~repro.errors.ParseError`.
+    """
+    # Strip comments, normalize whitespace, split on ';' while keeping
+    # block structure detectable.
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    module = re.search(r"\bmodule\s+(\\?\S+)\s*\((.*?)\);(.*)\bendmodule",
+                       text, flags=re.S)
+    if not module:
+        raise ParseError("no module found", path)
+    name = _unescape(module.group(1))
+    body = module.group(3)
+
+    circuit = Circuit(name, library)
+    outputs: list[str] = []
+    registers: dict[str, str] = {}   # q -> d
+    initials: dict[str, int] = {}
+    aliases: dict[str, str] = {}     # port -> net (duplicate-PO splits)
+    gates: list[tuple[str, str, list[str]]] = []
+    declared_regs: set[str] = set()
+
+    # Pull out always / initial blocks first.
+    always = re.search(
+        r"always\s*@\s*\(\s*posedge\s+(\\?\S+?)\s*\)\s*begin(.*?)end",
+        body, flags=re.S)
+    if always:
+        for line in always.group(2).split(";"):
+            line = line.strip()
+            if not line:
+                continue
+            m = re.match(r"(\\?\S+)\s*<=\s*(\\?\S+)$", line)
+            if not m:
+                raise ParseError(f"unsupported register statement "
+                                 f"{line!r}", path)
+            registers[_unescape(m.group(1))] = _unescape(m.group(2))
+        body = body.replace(always.group(0), "")
+    initial = re.search(r"initial\s+begin(.*?)end", body, flags=re.S)
+    if initial:
+        for group in initial.group(1).split(";"):
+            for stmt in group.split(","):
+                stmt = stmt.strip()
+                if not stmt:
+                    continue
+                m = re.match(r"(\\?\S+)\s*=\s*1'b([01])$", stmt)
+                if not m:
+                    raise ParseError(f"unsupported initial statement "
+                                     f"{stmt!r}", path)
+                initials[_unescape(m.group(1))] = int(m.group(2))
+        body = body.replace(initial.group(0), "")
+
+    for raw in body.split(";"):
+        stmt = " ".join(raw.split())
+        if not stmt:
+            continue
+        kind = stmt.split()[0]
+        rest = stmt[len(kind):].strip()
+        if kind in ("input", "wire"):
+            for net in _split_args(rest):
+                if kind == "input" and net != clock:
+                    circuit.add_input(net)
+            continue
+        if kind == "output":
+            outputs.extend(_split_args(rest))
+            continue
+        if kind == "reg":
+            declared_regs.update(_split_args(rest))
+            continue
+        if kind == "assign":
+            m = re.match(r"(\\?\S+?)\s*=\s*(.+)$", rest)
+            if not m:
+                raise ParseError(f"unsupported assign {stmt!r}", path)
+            lhs, rhs = _unescape(m.group(1)), m.group(2).strip()
+            if rhs == "1'b0":
+                gates.append((lhs, "CONST0", []))
+            elif rhs == "1'b1":
+                gates.append((lhs, "CONST1", []))
+            elif re.match(r"^\\?\S+$", rhs):
+                aliases[lhs] = _unescape(rhs)
+            else:
+                raise ParseError(f"unsupported assign {stmt!r}", path)
+            continue
+        if kind in _REVERSE_PRIMITIVE:
+            m = re.match(r"\S+\s*\((.*)\)$", rest)
+            if not m:
+                raise ParseError(f"unsupported instantiation {stmt!r}",
+                                 path)
+            args = _split_args(m.group(1))
+            if len(args) < 2:
+                raise ParseError(f"gate needs output and inputs: "
+                                 f"{stmt!r}", path)
+            gates.append((args[0], _REVERSE_PRIMITIVE[kind], args[1:]))
+            continue
+        raise ParseError(f"unsupported construct {stmt!r}", path)
+
+    for out_net, op, ins in gates:
+        circuit.add_gate(out_net, op, ins)
+    for q, d in registers.items():
+        if q not in declared_regs:
+            raise ParseError(f"register {q!r} assigned but not declared "
+                             "reg", path)
+        circuit.add_dff(q, d, init=initials.get(q, 0))
+    for port in outputs:
+        circuit.add_output(aliases.get(port, port))
+
+    from .validate import validate_circuit
+
+    validate_circuit(circuit, require_outputs=False)
+    return circuit
+
+
+def load_verilog(path: str | os.PathLike[str], clock: str = "clk",
+                 library=None) -> Circuit:
+    """Read a structural Verilog file written by :func:`dump_verilog`."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_verilog(handle.read(), clock=clock, library=library,
+                             path=path)

@@ -1,0 +1,120 @@
+"""Machine-readable experiment reporting (JSON export/import).
+
+The pipeline's :class:`~repro.pipeline.PipelineResult` carries live
+objects (circuits, numpy arrays); this module flattens results to plain
+JSON-serializable dictionaries so experiment sweeps can be archived,
+diffed, and re-plotted without re-running the flow, and loads them back
+for comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from .errors import AnalysisError
+from .pipeline import PipelineResult
+
+
+def result_to_dict(result: PipelineResult,
+                   include_labels: bool = False) -> dict[str, Any]:
+    """Flatten a pipeline result into JSON-serializable primitives.
+
+    ``include_labels=True`` additionally stores each algorithm's raw
+    retiming label vector (enough to re-apply the retiming to the
+    original netlist with :func:`repro.retime.apply.apply_retiming`).
+    """
+    out: dict[str, Any] = {
+        "circuit": result.name,
+        "vertices": result.vertices,
+        "edges": result.edges,
+        "registers": result.registers,
+        "phi": float(result.phi),
+        "rmin": float(result.init.rmin),
+        "phi_base": float(result.init.phi_base),
+        "used_fallback": bool(result.init.used_fallback),
+        "obs_runtime": float(result.obs_runtime),
+        "ser_original": {
+            "total": result.ser_original.total,
+            "comb": result.ser_original.comb,
+            "reg": result.ser_original.reg,
+            "no_timing": result.ser_original.total_no_timing,
+        },
+        "algorithms": {},
+    }
+    for name, outcome in result.outcomes.items():
+        entry: dict[str, Any] = {
+            "registers": outcome.registers,
+            "ser_total": outcome.ser.total,
+            "ser_comb": outcome.ser.comb,
+            "ser_reg": outcome.ser.reg,
+            "objective": int(outcome.result.objective),
+            "commits": int(outcome.result.commits),
+            "iterations": int(outcome.result.iterations),
+            "passes": int(outcome.result.passes),
+            "constraints": int(outcome.result.constraints_added),
+            "blocked": int(outcome.result.blocked),
+            "runtime": float(outcome.result.runtime),
+        }
+        if include_labels:
+            entry["retiming"] = [int(x) for x in outcome.result.r]
+        out["algorithms"][name] = entry
+    return out
+
+
+def save_results(results: Sequence[PipelineResult],
+                 path: str | os.PathLike[str],
+                 include_labels: bool = False) -> None:
+    """Write a list of pipeline results as a JSON report."""
+    payload = {
+        "format": "repro-results",
+        "version": 1,
+        "results": [result_to_dict(r, include_labels) for r in results],
+    }
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Load a JSON report written by :func:`save_results`."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, Mapping) or \
+            payload.get("format") != "repro-results":
+        raise AnalysisError(f"{path!s} is not a repro results file")
+    return list(payload["results"])
+
+
+def summarize(results: Sequence[Mapping[str, Any]]) -> dict[str, float]:
+    """Aggregate the Table I averages from flattened results."""
+    import numpy as np
+
+    def pct(new: float, old: float) -> float:
+        return 100.0 * (new - old) / old if old else 0.0
+
+    d_ref, d_new, ratio, ff_ref, ff_new = [], [], [], [], []
+    for r in results:
+        algs = r["algorithms"]
+        base = r["ser_original"]["total"]
+        if "minobs" in algs:
+            d_ref.append(pct(algs["minobs"]["ser_total"], base))
+            ff_ref.append(pct(algs["minobs"]["registers"],
+                              r["registers"]))
+        if "minobswin" in algs:
+            d_new.append(pct(algs["minobswin"]["ser_total"], base))
+            ff_new.append(pct(algs["minobswin"]["registers"],
+                              r["registers"]))
+        if "minobs" in algs and "minobswin" in algs and \
+                algs["minobswin"]["ser_total"]:
+            ratio.append(100.0 * algs["minobs"]["ser_total"]
+                         / algs["minobswin"]["ser_total"])
+    out: dict[str, float] = {}
+    for key, values in (("dser_minobs", d_ref), ("dser_minobswin", d_new),
+                        ("ser_ratio", ratio), ("dff_minobs", ff_ref),
+                        ("dff_minobswin", ff_new)):
+        if values:
+            out[key] = float(np.mean(values))
+    return out

@@ -1,0 +1,49 @@
+"""Incremental min-area retiming (the iMinArea problem of [20]).
+
+Minimizes the total register count under a clock-period constraint, in
+the classical Leiserson-Saxe edge-count model (``sum_e w_r(e)``; register
+sharing across fanout edges is reported separately by
+:meth:`~repro.graph.retiming_graph.RetimingGraph.register_count`).
+
+Structurally this is the problem MinObs and MinObsWin generalize
+(Sec. IV-A: "equivalent to min-area retiming in terms of the problem
+structure"): the per-vertex gain of moving a register forward through
+``v`` is ``indeg(v) - outdeg(v)`` instead of an observability difference.
+We therefore reuse the same regular-forest engine, which doubles as a
+consistency check between this package and the core solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.constraints import Problem
+from ..core.minobswin import RetimingResult, minobswin_retiming
+from ..graph.retiming_graph import RetimingGraph
+
+
+def area_gains(graph: RetimingGraph) -> np.ndarray:
+    """Register-count reduction per unit forward move of each vertex."""
+    b = np.zeros(graph.n_vertices, dtype=np.int64)
+    for e in graph.edges:
+        if e.v != 0:
+            b[e.v] += 1
+        if e.u != 0:
+            b[e.u] -= 1
+    b[0] = 0
+    return b
+
+
+def min_area_retiming(graph: RetimingGraph, phi: float, setup: float = 0.0,
+                      r0: np.ndarray | None = None,
+                      restart: bool = True) -> RetimingResult:
+    """Minimize total edge registers subject to the period constraint.
+
+    ``r0`` must be feasible at ``phi`` (defaults to the zero retiming,
+    which requires the original circuit to meet the period).
+    """
+    if r0 is None:
+        r0 = graph.zero_retiming()
+    problem = Problem(graph=graph, phi=phi, setup=setup, hold=0.0,
+                      rmin=0.0, b=area_gains(graph))
+    return minobswin_retiming(problem, r0, skip_p2=True, restart=restart)

@@ -1,0 +1,292 @@
+"""Min-period retiming under setup and hold constraints (Phi_sh, Sec. V).
+
+The paper initializes from a circuit "retimed so that it has the minimal
+clock period Phi_sh under setup and hold time constraints by using the
+method proposed in [23]" (Lin-Zhou DAC'06) and falls back to plain
+min-period retiming when no hold-feasible retiming exists (reconvergent
+paths).  This module reimplements that capability:
+
+* the hold condition: every register-to-register combinational path is at
+  least ``T_h`` long (independent of the clock period);
+* a constraint-repair loop shared with the Problem 1 checker turns
+  setup-feasible retimings into setup+hold-feasible ones by forced
+  register motion;
+* a binary search over the period yields Phi_sh.
+
+This is a conservative reimplementation, not Lin-Zhou's exact algorithm:
+it may report infeasibility where a cleverer search would succeed, which
+only makes us take the paper's own documented fallback path (Phi_min with
+``R_min = `` minimal gate delay) more often.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InfeasibleError
+from ..core.constraints import Problem
+from ..graph.retiming_graph import RetimingGraph
+from ..graph.timing import boundary_labels
+from .minperiod import feasible_retiming, min_period_retiming
+
+
+def hold_slack(graph: RetimingGraph, r: np.ndarray, hold: float,
+               setup: float = 0.0) -> float:
+    """Shortest register-to-register path minus ``T_h`` (can be +inf).
+
+    Positive slack means every launched value survives the hold window of
+    the capturing register.  Register-to-register paths are measured
+    through the launched register's fanout gate: ``d(v) + (shortest path
+    from v's output to the next latch point)``.
+    """
+    # Any phi works: the shortest-path part of R is period-independent.
+    phi = float(np.asarray(graph.delays).sum()) + setup + hold + 1.0
+    labels = boundary_labels(graph, r, phi, setup, hold,
+                             hold_at_outputs=False)
+    weights = graph.retimed_weights(r)
+    shortest = math.inf
+    for eidx, w in enumerate(weights):
+        if w <= 0:
+            continue
+        v = graph.edges[eidx].v
+        if v == 0 or not math.isfinite(labels.R[v]):
+            continue
+        sp = graph.delays[v] + (phi + hold - float(labels.R[v]))
+        shortest = min(shortest, sp)
+    return shortest - hold
+
+
+def repair_constraints(problem: Problem, r: np.ndarray,
+                       max_steps: int | None = None,
+                       allow_backward: bool = False,
+                       prefer_backward: bool = False,
+                       rng: np.random.Generator | None = None,
+                       ) -> np.ndarray | None:
+    """Greedy feasibility restoration by forced register motion.
+
+    Repeatedly takes the first violated constraint of ``problem`` under
+    ``r`` and applies its prescribed fix (the dragged vertex moves
+    forward by the deficit).  Returns a feasible retiming or None when a
+    violation is unfixable (registers would cross a primary output) or
+    the step budget runs out.
+
+    With ``allow_backward=True`` (used by the Lin-Zhou style hold
+    search, *not* by the maximal-start computation, whose optimality
+    argument needs pure decreases), a forward-fix chain that dead-ends at
+    the primary inputs is rolled back and the offending shortest-path
+    violation is fixed the other way: the launching register moves
+    backward (possibly onto a primary-input edge, which is legal).
+    """
+    from ..core.constraints import find_violations
+
+    graph = problem.graph
+    r = np.asarray(r, dtype=np.int64).copy()
+    if max_steps is None:
+        max_steps = 40 * graph.n_vertices + 200
+    checkpoint: np.ndarray | None = None
+    checkpoint_violation = None
+    for _ in range(max_steps):
+        violations = find_violations(problem, r)
+        if not violations:
+            return r
+        if rng is not None:
+            pick = int(rng.integers(0, len(violations)))
+            violations = [violations[pick]]
+
+        unfixable = next((v for v in violations if not v.fixable), None)
+        if unfixable is None:
+            # Whole batch shares one timing pass; P0/P2 batches apply
+            # together (deduped per dragged vertex, largest deficit).
+            if allow_backward and violations[0].kind == "P2":
+                go_backward = prefer_backward if rng is None \
+                    else bool(rng.random() < 0.5)
+                if go_backward and violations[0].edge is not None:
+                    fixed = _backward_fix(graph, r, violations[0].edge)
+                    if fixed is not None:
+                        r = fixed
+                        continue
+                checkpoint = r.copy()
+                checkpoint_violation = violations[0]
+            needed: dict[int, int] = {}
+            for violation in violations:
+                needed[violation.q] = max(needed.get(violation.q, 0),
+                                          violation.deficit)
+            for q, deficit in needed.items():
+                r[q] -= deficit
+            continue
+
+        if allow_backward and unfixable.kind == "P2" and \
+                unfixable.edge is not None:
+            fixed = _backward_fix(graph, r, unfixable.edge)
+            if fixed is not None:
+                r = fixed
+                continue
+        if allow_backward and checkpoint is not None:
+            # The forward chain of the last shortest-path fix dead-ended
+            # (typically at a register-less primary-input cone); retry
+            # that fix backward from the checkpoint.
+            r = checkpoint
+            checkpoint = None
+            fixed = _backward_fix(graph, r, checkpoint_violation.edge)
+            if fixed is not None:
+                r = fixed
+                checkpoint_violation = None
+                continue
+        return None
+    return None
+
+
+def _backward_fix(graph, r: np.ndarray, edge_index: int,
+                  max_cascade: int | None = None) -> np.ndarray | None:
+    """Move the register launching into ``edge_index`` one gate backward.
+
+    Increases ``r`` at the edge's source and cascades further increases
+    through fanout cones as P0 requires; returns None when the cascade
+    would need a register from a primary-output edge that has none.
+    """
+    source = graph.edges[edge_index].u
+    if source == 0:
+        return None
+    out = np.asarray(r, dtype=np.int64).copy()
+    if max_cascade is None:
+        max_cascade = 4 * graph.n_vertices + 16
+    queue = [source]
+    steps = 0
+    while queue:
+        steps += 1
+        if steps > max_cascade:
+            return None
+        x = queue.pop()
+        out[x] += 1
+        for eidx in graph.out_edges[x]:
+            e = graph.edges[eidx]
+            w_r = e.w + int(out[e.v]) - int(out[e.u])
+            if w_r < 0:
+                if e.v == 0 or e.v == x:
+                    return None  # would pull a register past an output
+                queue.extend([e.v] * (-w_r))
+    if not graph.is_valid_retiming(out):
+        return None
+    return out
+
+
+def min_period_setup_hold(graph: RetimingGraph, setup: float = 0.0,
+                          hold: float = 2.0, tol: float = 1e-6,
+                          ) -> tuple[float, np.ndarray]:
+    """Minimal period with both setup and hold satisfied.
+
+    Returns ``(phi_sh, r)``.  Raises :class:`InfeasibleError` when no
+    hold-feasible retiming is found (the paper's reconvergent-path case).
+    """
+    phi_min, r_min = min_period_retiming(graph, setup, tol)
+
+    def probe(phi: float) -> np.ndarray | None:
+        seed = feasible_retiming(graph, phi, setup)
+        if seed is None:
+            return None
+        problem = Problem(graph=graph, phi=phi, setup=setup, hold=hold,
+                          rmin=hold, b=np.zeros(graph.n_vertices,
+                                                dtype=np.int64),
+                          hold_at_outputs=False)
+        budget = 6 * graph.n_vertices + 200
+        repaired = repair_constraints(problem, seed, allow_backward=True,
+                                      max_steps=budget)
+        if repaired is None:
+            # Second strategy: prefer moving launch registers backward
+            # (covers circuits whose forward chains dead-end at the
+            # register-free primary-input cones).
+            repaired = repair_constraints(problem, seed,
+                                          allow_backward=True,
+                                          prefer_backward=True,
+                                          max_steps=budget)
+        for attempt in range(3):
+            if repaired is not None:
+                break
+            # Randomized repairs: different violation orders and fix
+            # directions explore different move chains; greedy repair is
+            # incomplete, so a few diversified retries recover most
+            # hold-feasible circuits.  Tight step budget: a wandering
+            # random repair is almost never going to converge late.
+            repaired = repair_constraints(
+                problem, seed, allow_backward=True,
+                max_steps=3 * graph.n_vertices + 100,
+                rng=np.random.default_rng(attempt))
+        return repaired
+
+    low = phi_min
+    high = float(np.asarray(graph.delays).sum()) + setup
+    r_best = probe(high)
+    if r_best is None:
+        raise InfeasibleError(
+            f"no setup+hold-feasible retiming found (hold={hold}); "
+            "fall back to plain min-period initialization")
+    best_phi = high
+    # Try the tight end first: many circuits are hold-repairable at phi_min.
+    tight = probe(phi_min)
+    if tight is not None:
+        return phi_min, tight
+    # Hold feasibility is a coarse property of the period; a 2% bracket
+    # is ample for choosing Phi_sh (the caller relaxes by epsilon anyway)
+    # and keeps the number of repair probes small.
+    while best_phi - low > max(tol, 2e-2 * best_phi):
+        mid = (low + best_phi) / 2.0
+        candidate = probe(mid)
+        if candidate is None:
+            low = mid
+        else:
+            r_best = candidate
+            best_phi = mid
+    return best_phi, r_best
+
+
+def best_effort_hold(graph, phi: float, setup: float, hold: float,
+                     seed: np.ndarray,
+                     max_steps: int | None = None) -> np.ndarray:
+    """Maximize the minimal register-to-register path, best effort.
+
+    Used by the Sec. V fallback: when no fully hold-feasible retiming is
+    found, walk the same repair moves but keep the best *setup-feasible*
+    point visited (largest minimal register-to-latch path).  The result
+    is always P0/P1-feasible at ``phi``; its own minimal path then
+    becomes R_min, giving P2' as much bite as the circuit allows.
+    """
+    from ..core.constraints import Problem, find_violations
+    from ..core.initialization import min_register_path
+
+    problem = Problem(graph=graph, phi=phi, setup=setup, hold=hold,
+                      rmin=hold, b=np.zeros(graph.n_vertices,
+                                            dtype=np.int64),
+                      hold_at_outputs=False)
+    r = np.asarray(seed, dtype=np.int64).copy()
+    best = r.copy()
+    best_sp = min_register_path(graph, r, phi, setup, hold)
+    if max_steps is None:
+        max_steps = 10 * graph.n_vertices + 100
+    for _ in range(max_steps):
+        violations = find_violations(problem, r)
+        if not violations:
+            return r  # fully hold-feasible (caller re-checks anyway)
+        kinds = {v.kind for v in violations}
+        if kinds == {"P2"}:
+            # Setup-feasible point: candidate for the best-so-far.
+            sp = min_register_path(graph, r, phi, setup, hold)
+            if sp > best_sp:
+                best_sp = sp
+                best = r.copy()
+        unfixable = next((v for v in violations if not v.fixable), None)
+        if unfixable is not None:
+            if unfixable.kind == "P2" and unfixable.edge is not None:
+                fixed = _backward_fix(graph, r, unfixable.edge)
+                if fixed is not None:
+                    r = fixed
+                    continue
+            break
+        needed: dict[int, int] = {}
+        for violation in violations:
+            needed[violation.q] = max(needed.get(violation.q, 0),
+                                      violation.deficit)
+        for q, deficit in needed.items():
+            r[q] -= deficit
+    return best

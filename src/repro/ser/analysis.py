@@ -1,0 +1,158 @@
+"""The SER engine: eq. (4) with real ELWs.
+
+``SER(C) = sum_{g in gates} obs(g) err(g) |ELW(g)| / phi
+         + sum_{r in regs}  obs(r) err(r) |ELW(r)| / phi``
+
+* ``obs`` comes from the n-time-frame signature simulation
+  (:mod:`repro.sim.odc`).  Registers act as wires in the expansion, so a
+  register's observability is that of the gate (or input) driving its
+  chain -- the same value the retiming objective uses, keeping analysis
+  and optimization consistent (Sec. II-B / III-B).
+* ``|ELW|`` is the *exact* interval-union measure of eq. (3) (the paper:
+  "when doing the SER analysis, we compute the real size of the ELW");
+* ``err`` comes from a :class:`~repro.ser.rates.RateModel`.
+
+Retiming invariance of gate observability is what lets one observability
+run serve both the original and every retimed circuit: pass the original
+circuit's ``obs`` when analyzing a retimed version (gates keep their
+names through :func:`repro.retime.apply.apply_retiming`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..core.elw import circuit_elws
+from ..netlist.circuit import Circuit
+from ..sim.odc import observability
+from .rates import RateModel
+
+
+@dataclass
+class SerAnalysis:
+    """Result of one SER analysis run.
+
+    Attributes
+    ----------
+    total:
+        The circuit SER (eq. 4).
+    comb, reg:
+        Contributions of combinational gates and of registers.
+    total_no_timing:
+        The logic-masking-only SER (eq. 1/2 extended, no ELW factor) --
+        the quantity the MinObs baseline of [17] optimizes.
+    per_element:
+        Per gate/register contribution to ``total``.
+    phi, setup, hold:
+        Clock configuration used for the ELWs.
+    """
+
+    total: float
+    comb: float
+    reg: float
+    total_no_timing: float
+    per_element: dict[str, float] = field(repr=False, default_factory=dict)
+    phi: float = 0.0
+    setup: float = 0.0
+    hold: float = 0.0
+
+
+def extend_obs_to_registers(circuit: Circuit,
+                            obs: Mapping[str, float]) -> dict[str, float]:
+    """Observability for every net, deriving register values from drivers.
+
+    A register chain is a wire in the time-frame expansion: every register
+    on the chain takes the observability of the chain's combinational
+    source (gate output or primary input).
+    """
+    full = dict(obs)
+    for name in circuit.dffs:
+        source, _ = circuit.comb_source(name)
+        if source not in obs:
+            raise AnalysisError(
+                f"observability map lacks the driver {source!r} of "
+                f"register {name!r}")
+        full[name] = obs[source]
+    return full
+
+
+def analyze_ser(circuit: Circuit, phi: float,
+                setup: float | None = None, hold: float | None = None,
+                obs: Mapping[str, float] | None = None,
+                rate_model: RateModel | str = "library",
+                n_frames: int = 15, n_patterns: int = 256,
+                seed: int = 0,
+                electrical_tau: float | None = None,
+                latch_width: float = 1.0) -> SerAnalysis:
+    """Compute the SER of ``circuit`` at clock period ``phi`` (eq. 4).
+
+    Parameters
+    ----------
+    setup, hold:
+        Default to the circuit library's register characterization.
+    obs:
+        Observability per gate-output / primary-input net.  When omitted
+        it is computed on ``circuit`` itself; pass the original circuit's
+        map when analyzing a retimed version (gate observabilities are
+        retiming-invariant, Sec. III-B).
+    rate_model, n_frames, n_patterns, seed:
+        See :mod:`repro.ser.rates` and :mod:`repro.sim.odc`.
+    electrical_tau:
+        When set, raw rates are additionally derated by the electrical
+        masking factor of :mod:`repro.sim.electrical` (inertial pulse
+        attenuation with exponential strike widths of mean ``tau``).
+        The paper's experiments leave this off (its eq. 4 covers logic
+        and timing masking only).
+    latch_width:
+        Minimal pulse width a register can sample (used with
+        ``electrical_tau``).
+    """
+    if phi <= 0:
+        raise AnalysisError("clock period must be positive")
+    if setup is None:
+        setup = circuit.library.setup_time
+    if hold is None:
+        hold = circuit.library.hold_time
+    if isinstance(rate_model, str):
+        rate_model = RateModel(rate_model)
+
+    if obs is None:
+        obs = observability(circuit, n_frames=n_frames,
+                            n_patterns=n_patterns, seed=seed).obs
+    obs_full = extend_obs_to_registers(circuit, obs)
+    elws = circuit_elws(circuit, phi, setup, hold)
+    derate: Mapping[str, float] | None = None
+    if electrical_tau is not None:
+        from ..sim.electrical import electrical_derating
+
+        derate = electrical_derating(circuit, tau=electrical_tau,
+                                     latch_width=latch_width)
+
+    per_element: dict[str, float] = {}
+    comb = reg = 0.0
+    no_timing = 0.0
+    for name in circuit.gates:
+        err = rate_model.gate_rate(circuit, name)
+        if derate is not None:
+            err *= derate[name]
+        window = elws[name].measure / phi
+        value = obs_full[name] * err * window
+        per_element[name] = value
+        comb += value
+        no_timing += obs_full[name] * err
+    base_reg_err = rate_model.register_rate(circuit)
+    for name in circuit.dffs:
+        reg_err = base_reg_err
+        if derate is not None:
+            reg_err *= derate[name]
+        window = elws[name].measure / phi
+        value = obs_full[name] * reg_err * window
+        per_element[name] = value
+        reg += value
+        no_timing += obs_full[name] * reg_err
+
+    return SerAnalysis(total=comb + reg, comb=comb, reg=reg,
+                       total_no_timing=no_timing, per_element=per_element,
+                       phi=phi, setup=setup, hold=hold)

@@ -1,0 +1,62 @@
+"""Plain-text SER reporting helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .._util import format_table, percent
+from .analysis import SerAnalysis
+
+
+def format_ser_report(name: str, analysis: SerAnalysis,
+                      top: int = 10) -> str:
+    """Human-readable single-circuit SER report with top contributors."""
+    lines = [
+        f"SER report for {name}",
+        f"  clock period      : {analysis.phi:g}"
+        f" (setup {analysis.setup:g}, hold {analysis.hold:g})",
+        f"  total SER (eq. 4) : {analysis.total:.4e}",
+        f"    combinational   : {analysis.comb:.4e}",
+        f"    registers       : {analysis.reg:.4e}",
+        f"  logic-masking only: {analysis.total_no_timing:.4e}",
+    ]
+    if analysis.per_element and top > 0:
+        worst = sorted(analysis.per_element.items(),
+                       key=lambda kv: -kv[1])[:top]
+        lines.append(f"  top {len(worst)} contributors:")
+        for element, value in worst:
+            share = 100.0 * value / analysis.total if analysis.total else 0.0
+            lines.append(f"    {element:<24s} {value:.3e}  ({share:4.1f}%)")
+    return "\n".join(lines)
+
+
+def format_comparison(rows: Sequence[Mapping[str, object]]) -> str:
+    """Table-I-style comparison across circuits.
+
+    Each row mapping should contain: ``circuit``, ``V``, ``E``, ``FF``,
+    ``phi``, ``ser`` and per-algorithm entries ``<alg>_ff`` (register
+    count after retiming), ``<alg>_time``, ``<alg>_ser`` for ``ref``
+    (MinObs) and ``new`` (MinObsWin), plus ``new_J``.
+    """
+    headers = ["Circuit", "|V|", "|E|", "#FF", "Phi", "SER",
+               "dFF_ref", "t_ref", "dSER_ref",
+               "dFF_new", "t_new", "#J", "dSER_new", "ref/new"]
+    body = []
+    for row in rows:
+        ser = float(row["ser"])
+        ser_ref = float(row["ref_ser"])
+        ser_new = float(row["new_ser"])
+        ratio = ser_ref / ser_new if ser_new else float("inf")
+        body.append([
+            row["circuit"], row["V"], row["E"], row["FF"],
+            f"{float(row['phi']):.0f}", f"{ser:.2e}",
+            f"{percent(float(row['ref_ff']), float(row['FF'])):+.1f}%",
+            f"{float(row['ref_time']):.2f}",
+            f"{percent(ser_ref, ser):+.1f}%",
+            f"{percent(float(row['new_ff']), float(row['FF'])):+.1f}%",
+            f"{float(row['new_time']):.2f}",
+            row["new_J"],
+            f"{percent(ser_new, ser):+.1f}%",
+            f"{100.0 * ratio:.0f}%",
+        ])
+    return format_table(headers, body, align="l" + "r" * 13)

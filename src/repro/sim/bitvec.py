@@ -1,0 +1,100 @@
+"""Packed bit-parallel signal signatures.
+
+A *signature* stores K simulation patterns for one net as a numpy
+``uint64`` array of ``ceil(K / 64)`` words (pattern ``k`` lives in bit
+``k % 64`` of word ``k // 64``).  All K patterns are simulated at once by
+bitwise word operations -- the signature-based simulation style of
+Krishnaswamy et al. [21] the paper builds its observability analysis on.
+
+K is always padded to a multiple of 64; the helpers here keep the padding
+bits zeroed so population counts stay exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Number of patterns packed into one machine word.
+PATTERNS_PER_WORD = 64
+
+
+def n_words(n_patterns: int) -> int:
+    """Words needed to hold ``n_patterns`` patterns."""
+    if n_patterns <= 0:
+        raise SimulationError("pattern count must be positive")
+    return (n_patterns + PATTERNS_PER_WORD - 1) // PATTERNS_PER_WORD
+
+
+def _tail_mask(n_patterns: int) -> np.uint64:
+    """Mask of valid bits in the final word."""
+    rem = n_patterns % PATTERNS_PER_WORD
+    if rem == 0:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << rem) - 1)
+
+
+def trim(sig: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Zero the padding bits beyond ``n_patterns`` in-place; returns ``sig``."""
+    sig[-1] &= _tail_mask(n_patterns)
+    return sig
+
+
+def all_zeros(n_patterns: int) -> np.ndarray:
+    """Signature with every pattern 0."""
+    return np.zeros(n_words(n_patterns), dtype=np.uint64)
+
+
+def all_ones(n_patterns: int) -> np.ndarray:
+    """Signature with every pattern 1 (padding bits kept 0)."""
+    sig = np.full(n_words(n_patterns), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+    return trim(sig, n_patterns)
+
+
+def random_patterns(n_patterns: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random signature (each pattern i.i.d. fair bit)."""
+    words = rng.integers(0, 2**64, size=n_words(n_patterns), dtype=np.uint64)
+    return trim(words, n_patterns)
+
+
+def from_bits(bits: "list[int] | np.ndarray") -> np.ndarray:
+    """Pack a 0/1 sequence into a signature (pattern order preserved)."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    if bits.ndim != 1 or len(bits) == 0:
+        raise SimulationError("from_bits expects a non-empty 1-D sequence")
+    if np.any(bits > 1):
+        raise SimulationError("from_bits expects 0/1 values")
+    sig = all_zeros(len(bits))
+    idx = np.nonzero(bits)[0]
+    words = idx // PATTERNS_PER_WORD
+    shifts = (idx % PATTERNS_PER_WORD).astype(np.uint64)
+    np.bitwise_or.at(sig, words, np.uint64(1) << shifts)
+    return sig
+
+
+def to_bits(sig: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Unpack a signature into an explicit 0/1 array of length ``n_patterns``."""
+    bits = np.unpackbits(sig.view(np.uint8), bitorder="little")
+    return bits[:n_patterns].astype(np.uint8)
+
+
+def get_bit(sig: np.ndarray, k: int) -> int:
+    """Value of pattern ``k`` in ``sig``."""
+    return int((sig[k // PATTERNS_PER_WORD] >> np.uint64(k % PATTERNS_PER_WORD))
+               & np.uint64(1))
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount(sig: np.ndarray) -> int:
+        """Number of 1 patterns in the signature."""
+        return int(np.bitwise_count(sig).sum())
+else:  # pragma: no cover - numpy < 2 fallback
+    def popcount(sig: np.ndarray) -> int:
+        """Number of 1 patterns in the signature."""
+        return int(sum(bin(int(word)).count("1") for word in sig))
+
+
+def fraction_of_ones(sig: np.ndarray, n_patterns: int) -> float:
+    """Fraction of patterns set to 1 (the ``num_ones/K`` of Sec. II-A)."""
+    return popcount(sig) / float(n_patterns)

@@ -1,0 +1,131 @@
+"""Electrical masking: inertial pulse attenuation (the third mechanism).
+
+The paper optimizes logic and timing masking and leaves electrical
+masking to gate-hardening techniques (Sec. II: "electrical masking is
+related to the physical property of a gate").  A production SER flow
+still needs the third mechanism to calibrate absolute rates, so this
+module implements the standard inertial-degradation model used by
+static SER analyses (Rao et al. [25] lineage):
+
+* a particle strike at a gate output creates a transient pulse of some
+  width ``w``;
+* a pulse traversing a gate with inertial delay ``d`` is killed when
+  ``w <= d``, passes unchanged when ``w >= 2 d``, and otherwise degrades
+  to ``2 (w - d)``;
+* a pulse is latchable only if it still has at least the register's
+  sampling width when it arrives.
+
+The static backward pass computes, per gate, the minimal initial pulse
+width that can survive to *any* latch point; with a per-cell pulse-width
+distribution this yields a deratig factor in (0, 1] that multiplies the
+raw rate err(g) -- pluggable into the eq. (4) engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from ..errors import AnalysisError
+from ..netlist.circuit import Circuit
+
+
+def degrade(width: float, delay: float) -> float:
+    """Pulse width after one gate of inertial delay ``delay``."""
+    if width <= delay:
+        return 0.0
+    if width >= 2.0 * delay:
+        return width
+    return 2.0 * (width - delay)
+
+
+def required_input_width(target: float, delay: float) -> float:
+    """Minimal incoming width so the outgoing pulse is >= ``target``.
+
+    Inverse of :func:`degrade` (for ``target > 0``).
+    """
+    if target <= 0.0:
+        return 0.0
+    if target >= 2.0 * delay:
+        return target
+    return target / 2.0 + delay
+
+
+def required_widths(circuit: Circuit,
+                    latch_width: float = 1.0) -> dict[str, float]:
+    """Minimal strike width at each net that can still latch somewhere.
+
+    Backward pass over the combinational logic: at latch points
+    (flip-flop data inputs and primary outputs) a pulse needs
+    ``latch_width``; traversing gate ``f`` backwards applies
+    :func:`required_input_width` with f's delay; multiple readers take
+    the easiest (minimum) requirement.  Unobservable nets get ``+inf``.
+    """
+    if latch_width <= 0:
+        raise AnalysisError("latch_width must be positive")
+    po_nets = set(circuit.outputs)
+    dff_read: set[str] = {dff.d for dff in circuit.dffs.values()}
+    gate_readers: dict[str, list[str]] = {n: [] for n in circuit.nets}
+    for gate in circuit.gates.values():
+        for net in set(gate.inputs):
+            gate_readers[net].append(gate.name)
+
+    req: dict[str, float] = {}
+
+    def net_requirement(net: str) -> float:
+        best = math.inf
+        if net in po_nets or net in dff_read:
+            best = latch_width
+        for reader in gate_readers[net]:
+            best = min(best, required_input_width(
+                req[reader], circuit.gate_delay(reader)))
+        return best
+
+    for gate_name in reversed(circuit.topo_gates()):
+        req[gate_name] = net_requirement(gate_name)
+    for net in list(circuit.inputs) + list(circuit.dffs):
+        req[net] = net_requirement(net)
+    return req
+
+
+def electrical_derating(circuit: Circuit, tau: float = 2.0,
+                        latch_width: float = 1.0,
+                        req: Mapping[str, float] | None = None,
+                        ) -> dict[str, float]:
+    """Survival probability of a strike at each net.
+
+    Strike pulse widths are modeled exponential with mean ``tau`` (the
+    charge-collection profile); the derating factor is
+    ``P(width >= required) = exp(-required / tau)``, in (0, 1], with 0
+    for electrically unobservable nets.
+    """
+    if tau <= 0:
+        raise AnalysisError("tau must be positive")
+    if req is None:
+        req = required_widths(circuit, latch_width)
+    out: dict[str, float] = {}
+    for net, needed in req.items():
+        out[net] = 0.0 if math.isinf(needed) else \
+            float(math.exp(-needed / tau))
+    return out
+
+
+def propagate_pulse(circuit: Circuit, source_net: str, width: float,
+                    ) -> dict[str, float]:
+    """Forward view: widest surviving pulse at every net.
+
+    Structural (ignores logic masking, like eq. 3): a pulse of ``width``
+    born at ``source_net`` propagates through every path; per net the
+    widest survivor over paths is reported (0 where nothing survives).
+    Used by tests to validate the backward pass.
+    """
+    if source_net not in set(circuit.nets):
+        raise AnalysisError(f"unknown net {source_net!r}")
+    widths: dict[str, float] = {net: 0.0 for net in circuit.nets}
+    widths[source_net] = width
+    for gate_name in circuit.topo_gates():
+        gate = circuit.gates[gate_name]
+        incoming = max((widths[i] for i in gate.inputs), default=0.0)
+        survived = degrade(incoming, circuit.gate_delay(gate_name))
+        widths[gate_name] = max(widths[gate_name], survived)
+    return widths

@@ -1,0 +1,158 @@
+"""Tests for the P0/P1'/P2' constraint system and its Fig. 2 diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    Problem,
+    check_constraints,
+    gains,
+    register_observability,
+)
+from repro.errors import InfeasibleError
+from repro.graph.retiming_graph import RetimingGraph
+
+
+def chain_problem(delays, weights, phi, rmin=0.0, b=None, hold=2.0):
+    """host -> g0 -> ... -> gN -> host chain instance."""
+    g = RetimingGraph()
+    names = [f"g{i}" for i in range(len(delays))]
+    for name, d in zip(names, delays):
+        g.add_vertex(name, d)
+    g.add_edge("__host__", names[0], weights[0], src_net="pi")
+    for i in range(len(names) - 1):
+        g.add_edge(names[i], names[i + 1], weights[i + 1])
+    g.add_edge(names[-1], "__host__", weights[-1], tag=("po", 0))
+    if b is None:
+        b = np.zeros(g.n_vertices, dtype=np.int64)
+    problem = Problem(graph=g, phi=phi, setup=0.0, hold=hold, rmin=rmin,
+                      b=np.asarray(b, dtype=np.int64))
+    return g, problem
+
+
+class TestGains:
+    def test_formula(self, tiny_circuit):
+        g = RetimingGraph.from_circuit(tiny_circuit)
+        counts = {"a": 10, "b": 20, "g1": 30, "g2": 40, "y": 50}
+        b = gains(g, counts)
+        # g1: in-edges from a(10) and g2(40); one out-edge -> -30.
+        assert b[g.index["g1"]] == 10 + 40 - 30
+        # g2: in from g1 (30); out-edges: to g1, to y, to host (PO s1)
+        # host edges count: out-edges from g2 = 3 -> -3*40.
+        assert b[g.index["g2"]] == 30 - 3 * 40
+        assert b[0] == 0
+
+    def test_register_observability_counts_edges(self, tiny_circuit):
+        g = RetimingGraph.from_circuit(tiny_circuit)
+        obs = {"a": 0.1, "b": 0.2, "g1": 0.3, "g2": 0.4, "y": 0.5}
+        r = g.zero_retiming()
+        # registers: g2->g1 edge (w=1) and g2->host PO edge (w=1)
+        assert register_observability(g, r, obs) == pytest.approx(0.8)
+
+
+class TestP0:
+    def test_detects_negative_edge(self):
+        g, problem = chain_problem([1, 1], [0, 1, 0], phi=100)
+        r = g.zero_retiming()
+        r[g.index["g1"]] = -2  # pulls 2 registers off g0->g1 (has 1)
+        violation = check_constraints(problem, r)
+        assert violation is not None and violation.kind == "P0"
+        assert violation.q == g.index["g0"]
+        assert violation.p == g.index["g1"]
+        assert violation.deficit == 1
+
+    def test_host_side_unfixable(self):
+        g, problem = chain_problem([1, 1], [0, 0, 0], phi=100)
+        r = g.zero_retiming()
+        r[g.index["g0"]] = -1  # needs a register from the PI edge
+        violation = check_constraints(problem, r)
+        assert violation.kind == "P0"
+        assert violation.q == 0
+        assert not violation.fixable
+
+
+class TestP1:
+    def test_detects_long_path(self):
+        # Moving the register forward through g1 creates the path
+        # g0 -> g1 -> g2 of delay 9 > phi - Ts = 7.
+        g, problem = chain_problem([3, 3, 3], [0, 0, 1, 1], phi=7)
+        r = g.zero_retiming()
+        assert check_constraints(problem, r) is None
+        move = g.zero_retiming()
+        move[g.index["g2"]] = 1
+        r = r - move
+        violation = check_constraints(problem, r, delta=move)
+        assert violation is not None
+        assert violation.kind == "P1"
+        assert violation.q == g.index["g0"]      # path head
+        assert violation.p == g.index["g2"]      # the mover / terminal
+        assert violation.deficit == 1
+
+    def test_infeasible_single_gate(self):
+        g, problem = chain_problem([10.0], [1, 1], phi=5)
+        with pytest.raises(InfeasibleError):
+            check_constraints(problem, g.zero_retiming())
+
+
+class TestP2:
+    def test_detects_short_path(self):
+        # Registers on both edges around g1 (d=1): path length 1 < rmin 5.
+        g, problem = chain_problem([4, 1, 4], [0, 1, 1, 0], phi=100,
+                                   rmin=5.0)
+        violation = check_constraints(problem, g.zero_retiming())
+        assert violation is not None
+        assert violation.kind == "P2"
+        # Fix: drag g2 to clear the register off g1 -> g2.
+        assert violation.q == g.index["g2"]
+        assert violation.deficit == 1
+
+    def test_satisfied_when_path_long_enough(self):
+        g, problem = chain_problem([4, 6, 6], [0, 1, 1, 0], phi=100,
+                                   rmin=5.0)
+        assert check_constraints(problem, g.zero_retiming()) is None
+
+    def test_po_terminated_unfixable(self):
+        # Register feeds g1 whose short path ends at the PO.
+        g, problem = chain_problem([4, 1], [0, 1, 0], phi=100, rmin=5.0)
+        violation = check_constraints(problem, g.zero_retiming())
+        assert violation is not None
+        assert violation.kind == "P2"
+        assert violation.q == 0
+        assert not violation.fixable
+
+    def test_skip_p2(self):
+        g, problem = chain_problem([4, 1, 4], [0, 1, 1, 0], phi=100,
+                                   rmin=5.0)
+        assert check_constraints(problem, g.zero_retiming(),
+                                 skip_p2=True) is None
+
+    def test_hold_at_outputs_false_exempts_po_paths(self):
+        g, problem = chain_problem([4, 1], [0, 1, 0], phi=100, rmin=5.0)
+        exempt = Problem(graph=g, phi=100, setup=0.0, hold=2.0, rmin=5.0,
+                         b=problem.b, hold_at_outputs=False)
+        assert check_constraints(exempt, g.zero_retiming()) is None
+
+    def test_register_guarding_po_has_no_p2(self):
+        # Register on the PO edge itself: no combinational path beyond.
+        g, problem = chain_problem([4, 4], [0, 0, 1], phi=100, rmin=5.0)
+        assert check_constraints(problem, g.zero_retiming()) is None
+
+
+class TestPrecedence:
+    def test_p0_before_p2(self):
+        g, problem = chain_problem([4, 1, 4], [0, 1, 1, 0], phi=100,
+                                   rmin=5.0)
+        r = g.zero_retiming()
+        r[g.index["g2"]] = -2  # invalid AND short paths everywhere
+        violation = check_constraints(problem, r)
+        assert violation.kind == "P0"
+
+    def test_objective(self):
+        g, problem = chain_problem(
+            [1, 1], [0, 1, 0], phi=100,
+            b=[0, 5, -3])
+        r = g.zero_retiming()
+        r[1] = -2
+        r[2] = -1
+        # objective = -sum b(v) r(v) = -(5*-2 + -3*-1) = 7
+        assert problem.objective(r) == 7

@@ -1,0 +1,106 @@
+"""Tests for the augmented objectives (the paper's Conclusions extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import Problem, gains
+from repro.core.initialization import initialize
+from repro.core.minobswin import minobswin_retiming
+from repro.core.objectives import (
+    activity_weighted_gains,
+    area_weighted_gains,
+    toggle_activities,
+)
+from repro.errors import AnalysisError
+from repro.graph.retiming_graph import RetimingGraph
+from repro.retime.minarea import area_gains
+from repro.sim.odc import observability
+from tests.conftest import tiny_random
+
+
+@pytest.fixture(scope="module")
+def instance():
+    circuit = tiny_random(7, n_gates=20, n_dffs=8)
+    graph = RetimingGraph.from_circuit(circuit)
+    obs = observability(circuit, n_frames=4, n_patterns=64, seed=1).obs
+    counts = {n: int(round(v * 64)) for n, v in obs.items()}
+    init = initialize(graph, 0.0, 2.0)
+    return circuit, graph, counts, init
+
+
+class TestAreaWeighted:
+    def test_zero_weight_recovers_paper_objective(self, instance):
+        _, graph, counts, _ = instance
+        combined = area_weighted_gains(graph, counts, area_weight=0.0,
+                                       scale=1024)
+        assert np.array_equal(combined, 1024 * gains(graph, counts))
+
+    def test_huge_weight_recovers_min_area_sign(self, instance):
+        _, graph, counts, _ = instance
+        combined = area_weighted_gains(graph, counts, area_weight=1e6)
+        area = area_gains(graph)
+        nonzero = area != 0
+        assert np.all(np.sign(combined[nonzero]) == np.sign(area[nonzero]))
+
+    def test_negative_weight_rejected(self, instance):
+        _, graph, counts, _ = instance
+        with pytest.raises(AnalysisError):
+            area_weighted_gains(graph, counts, area_weight=-1.0)
+
+    def test_solver_accepts_combined_gains(self, instance):
+        """The Conclusions claim: 'the algorithm itself remains the
+        same' -- the solver runs unchanged on the augmented gains."""
+        _, graph, counts, init = instance
+        for weight in (0.0, 8.0, 64.0):
+            b = area_weighted_gains(graph, counts, area_weight=weight)
+            problem = Problem(graph=graph, phi=init.phi, setup=0.0,
+                              hold=2.0, rmin=init.rmin, b=b)
+            result = minobswin_retiming(problem, init.r0)
+            graph.validate_retiming(result.r)
+            assert result.objective >= problem.objective(init.r0)
+
+    def test_weight_trades_registers_for_observability(self, instance):
+        """More area weight never yields more final registers."""
+        _, graph, counts, init = instance
+        registers = []
+        for weight in (0.0, 1024.0):
+            b = area_weighted_gains(graph, counts, area_weight=weight)
+            problem = Problem(graph=graph, phi=init.phi, setup=0.0,
+                              hold=2.0, rmin=init.rmin, b=b)
+            result = minobswin_retiming(problem, init.r0)
+            registers.append(
+                graph.register_count(result.r, shared=False))
+        assert registers[1] <= registers[0]
+
+
+class TestActivityWeighted:
+    def test_activities_in_unit_interval(self, instance):
+        circuit, _, _, _ = instance
+        act = toggle_activities(circuit, n_cycles=16, n_patterns=64)
+        assert set(act) == set(circuit.nets)
+        assert all(0.0 <= v <= 1.0 for v in act.values())
+
+    def test_constant_net_never_toggles(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("const")
+        c.add_input("a")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("g", "AND", ["a", "one"])
+        c.add_output("g")
+        act = toggle_activities(c, n_cycles=16, n_patterns=64)
+        assert act["one"] == 0.0
+
+    def test_power_gains_run_through_solver(self, instance):
+        circuit, graph, counts, init = instance
+        act = toggle_activities(circuit, n_cycles=16, n_patterns=64)
+        b = activity_weighted_gains(graph, counts, act, power_weight=32.0)
+        problem = Problem(graph=graph, phi=init.phi, setup=0.0, hold=2.0,
+                          rmin=init.rmin, b=b)
+        result = minobswin_retiming(problem, init.r0)
+        graph.validate_retiming(result.r)
+
+    def test_negative_weight_rejected(self, instance):
+        _, graph, counts, _ = instance
+        with pytest.raises(AnalysisError):
+            activity_weighted_gains(graph, counts, {}, power_weight=-2.0)

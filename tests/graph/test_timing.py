@@ -1,0 +1,171 @@
+"""Unit tests for static timing on the retiming graph."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.retiming_graph import RetimingGraph
+from repro.graph.timing import (
+    TimingAnalysis,
+    achieved_period,
+    arrival_times,
+    boundary_labels,
+    shortest_path_through,
+)
+from tests.conftest import tiny_random
+
+
+def chain_graph(delays, weights):
+    """host -> g0 -> g1 -> ... -> host with given delays/edge weights."""
+    g = RetimingGraph()
+    names = [f"g{i}" for i in range(len(delays))]
+    for name, d in zip(names, delays):
+        g.add_vertex(name, d)
+    g.add_edge("__host__", names[0], weights[0], src_net="pi")
+    for i in range(len(names) - 1):
+        g.add_edge(names[i], names[i + 1], weights[i + 1])
+    g.add_edge(names[-1], "__host__", weights[-1], tag=("po", 0))
+    return g
+
+
+class TestArrivalTimes:
+    def test_chain_no_registers(self):
+        g = chain_graph([1, 2, 3], [0, 0, 0, 0])
+        delta = arrival_times(g, g.zero_retiming())
+        assert list(delta) == [0, 1, 3, 6]
+
+    def test_register_resets_arrival(self):
+        g = chain_graph([1, 2, 3], [0, 0, 1, 0])
+        delta = arrival_times(g, g.zero_retiming())
+        assert list(delta) == [0, 1, 3, 3]
+
+    def test_achieved_period(self):
+        g = chain_graph([1, 2, 3], [0, 0, 1, 0])
+        assert achieved_period(g, g.zero_retiming()) == 3.0
+        assert achieved_period(g, g.zero_retiming(), setup=0.5) == 3.5
+
+    def test_retiming_changes_arrival(self):
+        g = chain_graph([1, 2, 3], [0, 0, 1, 0])
+        r = g.zero_retiming()
+        # move the register backward over g1 (r(g1) += 1)
+        r[g.index["g1"]] = 1
+        delta = arrival_times(g, r)
+        assert list(delta) == [0, 1, 2, 5]
+
+
+class TestBoundaryLabels:
+    def test_direct_latch(self):
+        g = chain_graph([1.0, 2.0], [0, 1, 0])
+        lab = boundary_labels(g, g.zero_retiming(), phi=10, setup=1,
+                              hold=2)
+        i0, i1 = g.index["g0"], g.index["g1"]
+        # g0 feeds a registered edge: its window is the latching window.
+        assert lab.L[i0] == 9.0 and lab.R[i0] == 12.0
+        assert lab.lt[i0] == i0 and lab.rt[i0] == i0
+        # g1 feeds the host (PO): also a latch point.
+        assert lab.L[i1] == 9.0 and lab.R[i1] == 12.0
+
+    def test_propagation_through_fanout(self):
+        g = chain_graph([1.0, 2.0, 3.0], [0, 0, 0, 0])
+        lab = boundary_labels(g, g.zero_retiming(), phi=10, hold=2)
+        i0, i1, i2 = (g.index[f"g{i}"] for i in range(3))
+        assert lab.L[i2] == 10.0
+        assert lab.L[i1] == pytest.approx(10.0 - 3.0)
+        assert lab.L[i0] == pytest.approx(10.0 - 3.0 - 2.0)
+        assert lab.R[i0] == pytest.approx(12.0 - 5.0)
+        assert lab.lt[i0] == i2
+        assert lab.shortest_path_vertices(i0) == [i0, i1, i2]
+        assert lab.longest_path_vertices(i0) == [i0, i1, i2]
+
+    def test_unobservable_vertex(self):
+        g = RetimingGraph()
+        g.add_vertex("dead", 1.0)
+        lab = boundary_labels(g, g.zero_retiming(), phi=10)
+        assert math.isinf(lab.L[1]) and lab.L[1] > 0
+        assert lab.lt[1] == -1
+        assert not lab.observable()[1]
+
+    def test_min_branch_wins_for_L_max_for_R(self):
+        # g0 fans out to a fast path (g1, PO) and a slow path (g2, PO).
+        g = RetimingGraph()
+        g.add_vertex("g0", 1.0)
+        g.add_vertex("g1", 1.0)
+        g.add_vertex("g2", 5.0)
+        g.add_edge("__host__", "g0", 0, src_net="pi")
+        g.add_edge("g0", "g1", 0)
+        g.add_edge("g0", "g2", 0)
+        g.add_edge("g1", "__host__", 0, tag=("po", 0))
+        g.add_edge("g2", "__host__", 0, tag=("po", 1))
+        lab = boundary_labels(g, g.zero_retiming(), phi=10, hold=2)
+        i0 = g.index["g0"]
+        assert lab.L[i0] == pytest.approx(10.0 - 5.0)   # through g2
+        assert lab.R[i0] == pytest.approx(12.0 - 1.0)   # through g1
+        assert lab.lt[i0] == g.index["g2"]
+        assert lab.rt[i0] == g.index["g1"]
+
+    def test_hold_at_outputs_flag(self):
+        g = chain_graph([1.0], [0, 0])
+        lab_on = boundary_labels(g, g.zero_retiming(), phi=10, hold=2,
+                                 hold_at_outputs=True)
+        lab_off = boundary_labels(g, g.zero_retiming(), phi=10, hold=2,
+                                  hold_at_outputs=False)
+        i0 = g.index["g0"]
+        assert lab_on.R[i0] == 12.0
+        assert math.isinf(lab_off.R[i0]) and lab_off.R[i0] < 0
+        # L (setup side) unaffected.
+        assert lab_on.L[i0] == lab_off.L[i0] == 10.0
+
+    def test_shortest_path_through(self):
+        g = chain_graph([1.0, 2.0, 4.0], [0, 1, 0, 0])
+        lab = boundary_labels(g, g.zero_retiming(), phi=10, hold=2)
+        # register feeds g1; path g1 -> g2 -> PO has length d(g1)+d(g2)
+        assert shortest_path_through(g, lab, g.index["g1"]) == \
+            pytest.approx(6.0)
+
+
+class TestConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_setup_check_equals_p1_labels(self, seed):
+        """max arrival <= phi - Ts iff L(v) >= d(v) for all observable v."""
+        c = tiny_random(seed, n_gates=12, n_dffs=5)
+        from repro.graph.retiming_graph import RetimingGraph
+
+        g = RetimingGraph.from_circuit(c)
+        r = g.zero_retiming()
+        delta = arrival_times(g, r)
+        for phi in (float(delta.max()) - 1.0, float(delta.max()),
+                    float(delta.max()) + 1.0):
+            analysis = TimingAnalysis(g, r, phi)
+            lab = analysis.labels
+            p1_ok = all(
+                lab.L[v] >= g.delays[v] - 1e-9
+                for v in range(1, g.n_vertices)
+                if math.isfinite(lab.L[v]))
+            # P1 over observable vertices is implied by the arrival check;
+            # unobservable logic is exempt from P1 but not from arrival.
+            if analysis.setup_ok():
+                assert p1_ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_elw_bound_contains_exact_elw(self, seed):
+        """Theorem 1: L/R are the outer boundaries of the exact ELW."""
+        from repro.core.elw import graph_elws
+        from repro.graph.retiming_graph import RetimingGraph
+
+        c = tiny_random(seed, n_gates=12, n_dffs=5)
+        g = RetimingGraph.from_circuit(c)
+        r = g.zero_retiming()
+        phi = achieved_period(g, r) + 3.0
+        lab = boundary_labels(g, r, phi, setup=0.0, hold=2.0)
+        elws = graph_elws(g, r, phi, setup=0.0, hold=2.0)
+        for v in range(1, g.n_vertices):
+            if elws[v].is_empty:
+                assert not math.isfinite(lab.L[v])
+                continue
+            assert lab.L[v] == pytest.approx(elws[v].left)
+            assert lab.R[v] == pytest.approx(elws[v].right)
+            assert lab.R[v] - lab.L[v] >= elws[v].measure - 1e-9

@@ -1,0 +1,101 @@
+"""Unit tests for the ISCAS89 .bench reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import dumps_bench, loads_bench
+
+
+class TestParsing:
+    def test_basic(self, tiny_bench_text):
+        c = loads_bench(tiny_bench_text, "tiny")
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["y", "s1"]
+        assert c.gates["g1"].op == "NAND"
+        assert c.dffs["s1"].d == "g2"
+
+    def test_case_insensitive_keywords(self):
+        c = loads_bench("input(a)\noutput(q)\nq = dff(g)\ng = not(a)\n")
+        assert c.gates["g"].op == "NOT"
+        assert "q" in c.dffs
+
+    def test_comments_and_blanks(self):
+        c = loads_bench("# header\n\nINPUT(a)  # trailing\nOUTPUT(a)\n")
+        assert c.inputs == ["a"]
+
+    def test_spacing_variants(self):
+        c = loads_bench("INPUT( a )\nOUTPUT( g )\ng = AND( a , a )\n")
+        assert c.gates["g"].inputs == ["a", "a"]
+
+    def test_forward_reference(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, q)\nq = DFF(y)\n"
+        c = loads_bench(text)
+        assert c.dffs["q"].d == "y"
+
+    def test_multi_input_gates(self):
+        c = loads_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(g)\n"
+                        "g = NOR(a, b, c)\n")
+        assert len(c.gates["g"].inputs) == 3
+
+    @pytest.mark.parametrize("bad", [
+        "g = AND(a, b",           # missing paren
+        "INPUT()",                # empty declaration
+        "garbage line",           # no '='
+        "g = FROB(a)",            # unknown op
+        "g = DFF(a, b)",          # DFF arity
+        "g = AND(a,,b)",          # empty argument
+    ])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            loads_bench("INPUT(a)\nINPUT(b)\n" + bad + "\n")
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(Exception):
+            loads_bench("INPUT(a)\nOUTPUT(g)\ng = AND(a, ghost)\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            loads_bench("INPUT(a)\nbroken\n", path="x.bench")
+        except ParseError as exc:
+            assert exc.line == 2
+            assert exc.path == "x.bench"
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    def test_roundtrip_tiny(self, tiny_circuit):
+        text = dumps_bench(tiny_circuit)
+        again = loads_bench(text, tiny_circuit.name)
+        assert again.stats() == tiny_circuit.stats()
+        assert again.inputs == tiny_circuit.inputs
+        assert again.outputs == tiny_circuit.outputs
+        for name, gate in tiny_circuit.gates.items():
+            assert again.gates[name].op == gate.op
+            assert again.gates[name].inputs == gate.inputs
+
+    def test_roundtrip_generated(self, medium_circuit):
+        again = loads_bench(dumps_bench(medium_circuit))
+        assert again.stats() == medium_circuit.stats()
+
+    def test_file_io(self, tmp_path, tiny_circuit):
+        from repro.netlist import dump_bench, load_bench
+
+        path = tmp_path / "tiny.bench"
+        dump_bench(tiny_circuit, path)
+        again = load_bench(path)
+        assert again.name == "tiny"
+        assert again.stats() == tiny_circuit.stats()
+
+    def test_dump_is_topologically_ordered(self, medium_circuit):
+        text = dumps_bench(medium_circuit)
+        seen: set[str] = set(medium_circuit.inputs)
+        seen.update(medium_circuit.dffs)
+        for line in text.splitlines():
+            if "=" not in line or "DFF" in line:
+                continue
+            lhs, rhs = line.split("=", 1)
+            args = rhs.strip().split("(", 1)[1].rstrip(")").split(",")
+            for arg in (a.strip() for a in args if a.strip()):
+                assert arg in seen
+            seen.add(lhs.strip())

@@ -1,0 +1,114 @@
+"""Unit tests for the BLIF subset reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import dumps_blif, loads_blif
+
+
+BASIC = """
+.model demo
+.inputs a b
+.outputs y
+.latch d q re clk 0
+.names a q d
+11 1
+.names d b y
+0- 1
+-0 1
+.end
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        c = loads_blif(BASIC)
+        assert c.name == "demo"
+        assert c.inputs == ["a", "b"]
+        assert c.dffs["q"].d == "d"
+        assert c.gates["d"].op == "AND"
+        assert c.gates["y"].op == "NAND"
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs g\n.names a b g\n11 1\n.end\n"
+        c = loads_blif(text)
+        assert c.inputs == ["a", "b"]
+
+    def test_latch_without_init(self):
+        text = ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n"
+        c = loads_blif(text)
+        assert c.dffs["q"].init == 0
+
+    def test_latch_init_one(self):
+        text = ".model m\n.inputs a\n.outputs q\n.latch a q re clk 1\n.end\n"
+        assert loads_blif(text).dffs["q"].init == 1
+
+    def test_constant_covers(self):
+        text = (".model m\n.inputs a\n.outputs one zero g\n"
+                ".names one\n1\n.names zero\n.names a g\n1 1\n.end\n")
+        c = loads_blif(text)
+        assert c.gates["one"].op == "CONST1"
+        assert c.gates["zero"].op == "CONST0"
+        assert c.gates["g"].op == "BUF"
+
+    def test_xor_recognized(self):
+        text = (".model m\n.inputs a b\n.outputs g\n"
+                ".names a b g\n10 1\n01 1\n.end\n")
+        assert loads_blif(text).gates["g"].op == "XOR"
+
+    def test_off_set_cover(self):
+        # NOR expressed through the off-set.
+        text = (".model m\n.inputs a b\n.outputs g\n"
+                ".names a b g\n00 1\n.end\n")
+        assert loads_blif(text).gates["g"].op == "NOR"
+
+    def test_unmatchable_cover_rejected(self):
+        text = (".model m\n.inputs a b c\n.outputs g\n"
+                ".names a b c g\n110 1\n001 1\n.end\n")
+        with pytest.raises(ParseError):
+            loads_blif(text)
+
+    @pytest.mark.parametrize("bad", [
+        ".inputs a",                       # statement before .model
+        ".model m\n.latch x",              # latch arity
+        ".model m\n.names a g\n1x 1",      # bad cover char
+        ".model m\n.subckt foo a=b",       # unsupported construct
+    ])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            loads_blif(bad + "\n.end\n")
+
+    def test_mixed_onset_offset_rejected(self):
+        text = ".model m\n.inputs a\n.outputs g\n.names a g\n1 1\n0 0\n.end\n"
+        with pytest.raises(ParseError):
+            loads_blif(text)
+
+
+class TestRoundTrip:
+    def test_roundtrip_tiny(self, tiny_circuit):
+        again = loads_blif(dumps_blif(tiny_circuit))
+        assert again.stats() == tiny_circuit.stats()
+        for name, gate in tiny_circuit.gates.items():
+            assert again.gates[name].op == gate.op
+
+    def test_roundtrip_generated(self, medium_circuit):
+        again = loads_blif(dumps_blif(medium_circuit))
+        assert again.stats() == medium_circuit.stats()
+        for name, gate in medium_circuit.gates.items():
+            assert again.gates[name].op == gate.op
+            assert again.gates[name].inputs == gate.inputs
+
+    def test_file_io(self, tmp_path, tiny_circuit):
+        from repro.netlist import dump_blif, load_blif
+
+        path = tmp_path / "tiny.blif"
+        dump_blif(tiny_circuit, path)
+        assert load_blif(path).stats() == tiny_circuit.stats()
+
+    def test_functional_equivalence_after_roundtrip(self, tiny_circuit):
+        from repro.retime.verify import check_sequential_equivalence
+
+        again = loads_blif(dumps_blif(tiny_circuit))
+        equal, bad_cycle = check_sequential_equivalence(
+            tiny_circuit, again, cycles=16, n_patterns=64)
+        assert equal, f"mismatch at cycle {bad_cycle}"

@@ -1,0 +1,123 @@
+"""Unit tests for the cell library and reference gate semantics."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.netlist.cell_library import (
+    SUPPORTED_OPS,
+    CellLibrary,
+    CellType,
+    check_arity,
+    evaluate_op,
+    generic_library,
+)
+
+
+class TestEvaluateOp:
+    @pytest.mark.parametrize("op,inputs,expected", [
+        ("CONST0", [], 0),
+        ("CONST1", [], 1),
+        ("BUF", [1], 1),
+        ("BUF", [0], 0),
+        ("NOT", [1], 0),
+        ("AND", [1, 1, 1], 1),
+        ("AND", [1, 0, 1], 0),
+        ("NAND", [1, 1], 0),
+        ("NAND", [0, 1], 1),
+        ("OR", [0, 0], 0),
+        ("OR", [0, 1], 1),
+        ("NOR", [0, 0], 1),
+        ("XOR", [1, 1, 1], 1),
+        ("XOR", [1, 1], 0),
+        ("XNOR", [1, 0], 0),
+        ("XNOR", [1, 1], 1),
+    ])
+    def test_truth(self, op, inputs, expected):
+        assert evaluate_op(op, inputs) == expected
+
+    def test_unknown_op(self):
+        with pytest.raises(LibraryError):
+            evaluate_op("MAJ", [1, 0, 1])
+
+    def test_de_morgan(self):
+        for bits in itertools.product((0, 1), repeat=3):
+            nand = evaluate_op("NAND", list(bits))
+            or_of_nots = evaluate_op(
+                "OR", [evaluate_op("NOT", [b]) for b in bits])
+            assert nand == or_of_nots
+
+
+class TestArity:
+    def test_not_takes_one(self):
+        check_arity("NOT", 1)
+        with pytest.raises(LibraryError):
+            check_arity("NOT", 2)
+
+    def test_and_range(self):
+        check_arity("AND", 2)
+        check_arity("AND", 8)
+        with pytest.raises(LibraryError):
+            check_arity("AND", 1)
+        with pytest.raises(LibraryError):
+            check_arity("AND", 9)
+
+    def test_xor_range(self):
+        check_arity("XOR", 4)
+        with pytest.raises(LibraryError):
+            check_arity("XOR", 5)
+
+    def test_const_takes_none(self):
+        check_arity("CONST0", 0)
+        with pytest.raises(LibraryError):
+            check_arity("CONST0", 1)
+
+
+class TestCellType:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("AND", 2, -1.0, 1.0)
+
+    def test_negative_ser_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("AND", 2, 1.0, -1.0)
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType("NOT", 3, 1.0, 1.0)
+
+
+class TestGenericLibrary:
+    def test_covers_all_ops(self):
+        lib = generic_library()
+        for op in SUPPORTED_OPS:
+            # At least the minimal arity exists for every op.
+            lo = 0 if op.startswith("CONST") else (1 if op in ("BUF", "NOT")
+                                                   else 2)
+            assert (op, lo) in lib or lib.cell(op, lo)
+
+    def test_delay_grows_with_fanin(self):
+        lib = generic_library()
+        assert lib.delay("NAND", 4) > lib.delay("NAND", 2)
+
+    def test_raw_ser_grows_with_fanin(self):
+        lib = generic_library()
+        assert lib.raw_ser("OR", 6) > lib.raw_ser("OR", 2)
+
+    def test_missing_cell(self):
+        lib = CellLibrary(name="empty")
+        with pytest.raises(LibraryError):
+            lib.cell("AND", 2)
+
+    def test_register_characterization(self):
+        lib = generic_library()
+        # Paper setup: T_s = 0, T_h = 2.
+        assert lib.setup_time == 0.0
+        assert lib.hold_time == 2.0
+        assert lib.register_raw_ser > 0
+
+    def test_add_overwrites(self):
+        lib = generic_library()
+        lib.add(CellType("AND", 2, 99.0, 1.0))
+        assert lib.delay("AND", 2) == 99.0

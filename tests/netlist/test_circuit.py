@@ -1,0 +1,153 @@
+"""Unit tests for the Circuit data model."""
+
+import pytest
+
+from repro.errors import CombinationalCycleError, NetlistError
+from repro.netlist import Circuit, validate_circuit
+
+
+def build_tiny() -> Circuit:
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", "NAND", ["a", "s1"])
+    c.add_gate("g2", "NOT", ["g1"])
+    c.add_gate("y", "AND", ["g2", "b"])
+    c.add_dff("s1", "g2")
+    c.add_output("y")
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_net_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_gate("a", "NOT", ["a"])
+        with pytest.raises(NetlistError):
+            c.add_dff("a", "a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_bad_arity_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(Exception):
+            c.add_gate("g", "NOT", ["a", "a"])
+
+    def test_bad_init_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_dff("q", "a", init=2)
+
+    def test_forward_references_allowed(self):
+        c = build_tiny()  # g1 references s1 defined later
+        validate_circuit(c)
+
+
+class TestQueries:
+    def test_driver_kind(self):
+        c = build_tiny()
+        assert c.driver_kind("a") == "input"
+        assert c.driver_kind("g1") == "gate"
+        assert c.driver_kind("s1") == "dff"
+        with pytest.raises(NetlistError):
+            c.driver_kind("nope")
+
+    def test_fanins(self):
+        c = build_tiny()
+        assert c.fanins("g1") == ["a", "s1"]
+        assert c.fanins("s1") == ["g2"]
+        assert c.fanins("a") == []
+
+    def test_fanouts(self):
+        c = build_tiny()
+        assert set(c.fanouts("g2")) == {"y", "s1"}
+        assert c.fanouts("y") == []
+
+    def test_fanout_counts_multiple_connections(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "AND", ["a", "a"])
+        assert c.fanouts("a") == ["g", "g"]
+
+    def test_topo_order(self):
+        c = build_tiny()
+        order = c.topo_gates()
+        assert order.index("g1") < order.index("g2") < order.index("y")
+
+    def test_comb_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("p", "AND", ["a", "q"])
+        c.add_gate("q", "NOT", ["p"])
+        with pytest.raises(CombinationalCycleError):
+            c.topo_gates()
+
+    def test_comb_source_through_chain(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "BUF", ["a"])
+        c.add_dff("q1", "g")
+        c.add_dff("q2", "q1")
+        assert c.comb_source("q2") == ("g", 2)
+        assert c.comb_source("g") == ("g", 0)
+
+    def test_register_only_cycle_detected(self):
+        c = Circuit()
+        c.add_dff("q1", "q2")
+        c.add_dff("q2", "q1")
+        with pytest.raises(NetlistError):
+            c.comb_source("q1")
+
+    def test_stats(self):
+        stats = build_tiny().stats()
+        assert stats == {"inputs": 2, "outputs": 1, "gates": 3,
+                         "dffs": 1, "connections": 5}
+
+    def test_observation_points(self):
+        c = build_tiny()
+        points = c.observation_points()
+        assert ("po", "y") in points
+        assert ("dff", "g2") in points
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        c = build_tiny()
+        d = c.copy("clone")
+        d.gates["g1"].inputs[0] = "b"
+        assert c.gates["g1"].inputs[0] == "a"
+        assert d.name == "clone"
+        assert d.stats() == c.stats()
+
+    def test_fresh_name(self):
+        c = build_tiny()
+        assert c.fresh_name("new") == "new"
+        assert c.fresh_name("g1") != "g1"
+        assert not c.is_net(c.fresh_name("g1"))
+
+
+class TestValidate:
+    def test_undefined_gate_input(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "AND", ["a", "ghost"])
+        with pytest.raises(NetlistError):
+            validate_circuit(c)
+
+    def test_undefined_output(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(NetlistError):
+            validate_circuit(c)
+
+    def test_nothing_observable(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "NOT", ["a"])
+        with pytest.raises(NetlistError):
+            validate_circuit(c)
+        validate_circuit(c, require_outputs=False)

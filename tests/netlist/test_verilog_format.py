@@ -1,0 +1,71 @@
+"""Unit tests for the structural Verilog writer."""
+
+from repro.netlist import dumps_verilog
+
+
+class TestVerilogWriter:
+    def test_module_structure(self, tiny_circuit):
+        text = dumps_verilog(tiny_circuit)
+        assert text.startswith("module tiny")
+        assert text.rstrip().endswith("endmodule")
+        assert "input clk;" in text
+        assert "input a;" in text
+        assert "output y;" in text
+        assert "reg s1;" in text
+        assert "always @(posedge clk)" in text
+        assert "s1 <= g2;" in text
+
+    def test_primitive_gates(self, tiny_circuit):
+        text = dumps_verilog(tiny_circuit)
+        assert "nand" in text
+        assert "not" in text
+        assert "and" in text
+
+    def test_initial_block(self, tiny_circuit):
+        assert "initial begin" in dumps_verilog(tiny_circuit)
+
+    def test_constants(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("consts")
+        c.add_gate("one", "CONST1", [])
+        c.add_gate("zero", "CONST0", [])
+        c.add_output("one")
+        c.add_output("zero")
+        text = dumps_verilog(c)
+        assert "assign one = 1'b1;" in text
+        assert "assign zero = 1'b0;" in text
+
+    def test_duplicate_output_nets_get_own_ports(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("dup")
+        c.add_input("a")
+        c.add_gate("g", "NOT", ["a"])
+        c.add_output("g")
+        c.add_output("g")
+        text = dumps_verilog(c)
+        assert "po_1_g" in text
+
+    def test_escaped_identifiers(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("esc")
+        c.add_input("a[0]")
+        c.add_gate("g.x", "NOT", ["a[0]"])
+        c.add_output("g.x")
+        text = dumps_verilog(c)
+        assert "\\a[0] " in text
+        assert "\\g.x " in text
+
+    def test_custom_clock_name(self, tiny_circuit):
+        text = dumps_verilog(tiny_circuit, clock="phi1")
+        assert "input phi1;" in text
+        assert "@(posedge phi1)" in text
+
+    def test_file_io(self, tmp_path, tiny_circuit):
+        from repro.netlist import dump_verilog
+
+        path = tmp_path / "tiny.v"
+        dump_verilog(tiny_circuit, path)
+        assert path.read_text().startswith("module tiny")

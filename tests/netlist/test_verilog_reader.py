@@ -1,0 +1,105 @@
+"""Tests for the structural Verilog reader subset."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import dumps_verilog, loads_verilog
+from repro.retime.verify import check_sequential_equivalence
+from tests.conftest import tiny_random
+
+
+class TestRoundTrip:
+    def test_tiny(self, tiny_circuit):
+        again = loads_verilog(dumps_verilog(tiny_circuit))
+        assert again.stats() == tiny_circuit.stats()
+        equal, cycle = check_sequential_equivalence(
+            tiny_circuit, again, cycles=24, n_patterns=64)
+        assert equal, f"mismatch at cycle {cycle}"
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_generated(self, seed):
+        circuit = tiny_random(seed, n_gates=20, n_dffs=6)
+        again = loads_verilog(dumps_verilog(circuit))
+        assert again.stats() == circuit.stats()
+        for name, dff in circuit.dffs.items():
+            assert again.dffs[name].d == dff.d
+            assert again.dffs[name].init == dff.init
+
+    def test_initial_values_preserved(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("inits")
+        c.add_input("a")
+        c.add_gate("g", "BUF", ["a"])
+        c.add_dff("q1", "g", init=1)
+        c.add_dff("q0", "g", init=0)
+        c.add_output("q1")
+        c.add_output("q0")
+        again = loads_verilog(dumps_verilog(c))
+        assert again.dffs["q1"].init == 1
+        assert again.dffs["q0"].init == 0
+
+    def test_escaped_names(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("esc")
+        c.add_input("in[0]")
+        c.add_gate("n.1", "NOT", ["in[0]"])
+        c.add_output("n.1")
+        again = loads_verilog(dumps_verilog(c))
+        assert "n.1" in again.gates
+        assert again.inputs == ["in[0]"]
+
+    def test_constants_and_duplicate_outputs(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("mix")
+        c.add_gate("one", "CONST1", [])
+        c.add_output("one")
+        c.add_output("one")
+        again = loads_verilog(dumps_verilog(c))
+        assert again.gates["one"].op == "CONST1"
+        assert len(again.outputs) == 2
+
+    def test_custom_clock(self, tiny_circuit):
+        text = dumps_verilog(tiny_circuit, clock="phi2")
+        again = loads_verilog(text, clock="phi2")
+        assert again.stats() == tiny_circuit.stats()
+        assert "phi2" not in again.inputs
+
+    def test_comments_stripped(self, tiny_circuit):
+        text = dumps_verilog(tiny_circuit)
+        text = "// header comment\n/* block\ncomment */\n" + text
+        assert loads_verilog(text).stats() == tiny_circuit.stats()
+
+
+class TestErrors:
+    def test_no_module(self):
+        with pytest.raises(ParseError):
+            loads_verilog("wire x;")
+
+    def test_behavioral_rejected(self):
+        text = ("module m (clk, a, y);\ninput clk;\ninput a;\n"
+                "output y;\nwire y;\nassign y = a & a;\nendmodule\n")
+        with pytest.raises(ParseError):
+            loads_verilog(text)
+
+    def test_undeclared_reg_rejected(self):
+        text = ("module m (clk, a, q);\ninput clk;\ninput a;\n"
+                "output q;\n"
+                "always @(posedge clk) begin\nq <= a;\nend\nendmodule\n")
+        with pytest.raises(ParseError):
+            loads_verilog(text)
+
+    def test_blocking_assign_in_always_rejected(self):
+        text = ("module m (clk, a, q);\ninput clk;\ninput a;\n"
+                "output q;\nreg q;\n"
+                "always @(posedge clk) begin\nq = a;\nend\nendmodule\n")
+        with pytest.raises(ParseError):
+            loads_verilog(text)
+
+    def test_unknown_construct(self):
+        text = ("module m (clk);\ninput clk;\n"
+                "specify endspecify;\nendmodule\n")
+        with pytest.raises(ParseError):
+            loads_verilog(text)

@@ -1,0 +1,54 @@
+"""Tests for the c-slow transformation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RetimingError
+from repro.graph.retiming_graph import RetimingGraph
+from repro.netlist import validate_circuit
+from repro.retime.cslow import c_slow, check_cslow_equivalence
+from tests.conftest import tiny_random
+
+
+class TestCSlow:
+    def test_c1_is_copy(self, tiny_circuit):
+        slowed = c_slow(tiny_circuit, 1)
+        assert slowed.stats() == tiny_circuit.stats()
+
+    def test_register_count_multiplies(self, tiny_circuit):
+        slowed = c_slow(tiny_circuit, 3)
+        assert slowed.n_dffs == 3 * tiny_circuit.n_dffs
+        assert slowed.n_gates == tiny_circuit.n_gates
+        validate_circuit(slowed)
+
+    def test_invalid_c(self, tiny_circuit):
+        with pytest.raises(RetimingError):
+            c_slow(tiny_circuit, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 40), c=st.integers(2, 4))
+    def test_stream_equivalence(self, seed, c):
+        circuit = tiny_random(seed, n_gates=10, n_dffs=4)
+        slowed = c_slow(circuit, c)
+        validate_circuit(slowed)
+        assert check_cslow_equivalence(circuit, slowed, c,
+                                       cycles=16, n_patterns=64)
+
+    def test_cslow_shortens_min_period_after_retiming(self):
+        """The classic use: c-slow + retime beats the original period."""
+        from repro.circuits import random_sequential_circuit
+        from repro.retime.minperiod import min_period_retiming
+
+        circuit = random_sequential_circuit(
+            "cs", n_gates=40, n_dffs=6, n_inputs=4, n_outputs=4, seed=9)
+        graph = RetimingGraph.from_circuit(circuit)
+        phi1, _ = min_period_retiming(graph)
+        slowed = c_slow(circuit, 3)
+        graph3 = RetimingGraph.from_circuit(slowed)
+        phi3, _ = min_period_retiming(graph3)
+        assert phi3 <= phi1 + 1e-9
+
+    def test_mutating_original_does_not_affect_slowed(self, tiny_circuit):
+        slowed = c_slow(tiny_circuit, 2)
+        tiny_circuit.gates["g1"].op = "AND"
+        assert slowed.gates["g1"].op == "NAND"

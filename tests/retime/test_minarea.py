@@ -1,0 +1,55 @@
+"""Tests for incremental min-area retiming (the iMinArea substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import Problem
+from repro.core.initialization import maximal_feasible_retiming
+from repro.core.oracle import lp_minobs_optimum
+from repro.graph.retiming_graph import RetimingGraph
+from repro.graph.timing import achieved_period
+from repro.retime.minarea import area_gains, min_area_retiming
+from tests.conftest import tiny_random
+
+
+class TestAreaGains:
+    def test_formula(self, tiny_circuit):
+        g = RetimingGraph.from_circuit(tiny_circuit)
+        b = area_gains(g)
+        # g1: indeg 2, outdeg 1 -> +1; merging helps area.
+        assert b[g.index["g1"]] == 1
+        # g2: indeg 1, outdeg 3 (g1, y, PO) -> -2.
+        assert b[g.index["g2"]] == -2
+        assert b[0] == 0
+
+
+class TestMinArea:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_never_increases_registers(self, seed):
+        c = tiny_random(seed, n_gates=12, n_dffs=5)
+        g = RetimingGraph.from_circuit(c)
+        phi = achieved_period(g, g.zero_retiming())
+        result = min_area_retiming(g, phi)
+        before = g.register_count(g.zero_retiming(), shared=False)
+        after = g.register_count(result.r, shared=False)
+        assert after <= before
+        assert achieved_period(g, result.r) <= phi + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 30))
+    def test_matches_lp_from_maximal_start(self, seed):
+        """Min-area from the maximal start equals the classical LP
+        optimum (min-area is MinObs with unit observabilities)."""
+        c = tiny_random(seed, n_gates=8, n_dffs=4)
+        g = RetimingGraph.from_circuit(c)
+        phi = achieved_period(g, g.zero_retiming()) * 1.2
+        problem = Problem(graph=g, phi=phi, setup=0.0, hold=0.0, rmin=0.0,
+                          b=area_gains(g))
+        r_max = maximal_feasible_retiming(problem)
+        if r_max is None:
+            return
+        result = min_area_retiming(g, phi, r0=r_max)
+        _, lp_best = lp_minobs_optimum(problem)
+        assert problem.objective(result.r) == lp_best

@@ -1,0 +1,74 @@
+"""Tests for setup+hold constrained min-period retiming."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InfeasibleError
+from repro.graph.retiming_graph import RetimingGraph
+from repro.graph.timing import achieved_period
+from repro.retime.minperiod import min_period_retiming
+from repro.retime.setup_hold import hold_slack, min_period_setup_hold
+from tests.conftest import tiny_random
+
+
+class TestHoldSlack:
+    def test_direct_violation(self):
+        g = RetimingGraph()
+        g.add_vertex("fast", 1.0)
+        g.add_vertex("sink", 3.0)
+        g.add_edge("__host__", "fast", 1, src_net="pi")
+        g.add_edge("fast", "sink", 1)
+        g.add_edge("sink", "__host__", 0, tag=("po", 0))
+        # register -> fast(d=1) -> register: path 1, hold 2 -> slack -1.
+        assert hold_slack(g, g.zero_retiming(), hold=2.0) == \
+            pytest.approx(-1.0)
+
+    def test_po_paths_exempt(self):
+        g = RetimingGraph()
+        g.add_vertex("fast", 1.0)
+        g.add_edge("__host__", "fast", 1, src_net="pi")
+        g.add_edge("fast", "__host__", 0, tag=("po", 0))
+        # register -> fast -> PO: not a hold-checked path.
+        assert math.isinf(hold_slack(g, g.zero_retiming(), hold=2.0))
+
+    def test_no_registers(self):
+        g = RetimingGraph()
+        g.add_vertex("a", 1.0)
+        g.add_edge("__host__", "a", 0, src_net="pi")
+        g.add_edge("a", "__host__", 0, tag=("po", 0))
+        assert math.isinf(hold_slack(g, g.zero_retiming(), hold=2.0))
+
+
+class TestMinPeriodSetupHold:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_result_meets_both_constraints(self, seed):
+        c = tiny_random(seed, n_gates=12, n_dffs=5)
+        g = RetimingGraph.from_circuit(c)
+        try:
+            phi_sh, r = min_period_setup_hold(g, 0.0, 2.0)
+        except InfeasibleError:
+            return
+        g.validate_retiming(r)
+        assert achieved_period(g, r) <= phi_sh + 1e-6
+        assert hold_slack(g, r, 2.0) >= -1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_phi_sh_at_least_phi_min(self, seed):
+        c = tiny_random(seed, n_gates=12, n_dffs=5)
+        g = RetimingGraph.from_circuit(c)
+        phi_min, _ = min_period_retiming(g)
+        try:
+            phi_sh, _ = min_period_setup_hold(g, 0.0, 2.0)
+        except InfeasibleError:
+            return
+        assert phi_sh >= phi_min - 1e-6
+
+    def test_impossible_hold_raises(self, feedback):
+        g = RetimingGraph.from_circuit(feedback)
+        with pytest.raises(InfeasibleError):
+            min_period_setup_hold(g, 0.0, hold=1e6)

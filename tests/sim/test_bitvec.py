@@ -1,0 +1,82 @@
+"""Unit and property tests for packed signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.bitvec import (
+    all_ones,
+    all_zeros,
+    fraction_of_ones,
+    from_bits,
+    get_bit,
+    n_words,
+    popcount,
+    random_patterns,
+    to_bits,
+    trim,
+)
+
+
+class TestBasics:
+    def test_n_words(self):
+        assert n_words(1) == 1
+        assert n_words(64) == 1
+        assert n_words(65) == 2
+
+    def test_n_words_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            n_words(0)
+
+    def test_all_ones_padding_clean(self):
+        sig = all_ones(70)
+        assert popcount(sig) == 70
+
+    def test_all_zeros(self):
+        assert popcount(all_zeros(130)) == 0
+
+    def test_fraction(self):
+        sig = from_bits([1, 0, 1, 0])
+        assert fraction_of_ones(sig, 4) == pytest.approx(0.5)
+
+    def test_get_bit(self):
+        sig = from_bits([0] * 70 + [1])
+        assert get_bit(sig, 70) == 1
+        assert get_bit(sig, 69) == 0
+
+    def test_from_bits_rejects_bad(self):
+        with pytest.raises(SimulationError):
+            from_bits([0, 2])
+        with pytest.raises(SimulationError):
+            from_bits([])
+
+    def test_random_deterministic(self):
+        a = random_patterns(200, np.random.default_rng(7))
+        b = random_patterns(200, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_trim_clears_padding(self):
+        sig = np.full(2, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        trim(sig, 70)
+        assert popcount(sig) == 70
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_bits_roundtrip(self, bits):
+        sig = from_bits(bits)
+        assert list(to_bits(sig, len(bits))) == bits
+        assert popcount(sig) == sum(bits)
+
+    @given(st.integers(1, 300))
+    def test_ones_count(self, n):
+        assert popcount(all_ones(n)) == n
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200),
+           st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_xor_popcount_is_hamming(self, a, b):
+        n = min(len(a), len(b))
+        sa, sb = from_bits(a[:n]), from_bits(b[:n])
+        expected = sum(x != y for x, y in zip(a[:n], b[:n]))
+        assert popcount(sa ^ sb) == expected

@@ -1,0 +1,118 @@
+"""Tests for the inertial electrical-masking model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.netlist import Circuit
+from repro.sim.electrical import (
+    degrade,
+    electrical_derating,
+    propagate_pulse,
+    required_input_width,
+    required_widths,
+)
+from tests.conftest import tiny_random
+
+
+class TestDegrade:
+    def test_killed_below_delay(self):
+        assert degrade(1.0, 2.0) == 0.0
+        assert degrade(2.0, 2.0) == 0.0
+
+    def test_passes_above_twice_delay(self):
+        assert degrade(5.0, 2.0) == 5.0
+        assert degrade(4.0, 2.0) == 4.0
+
+    def test_linear_between(self):
+        assert degrade(3.0, 2.0) == pytest.approx(2.0)
+
+    @given(st.floats(0.01, 20), st.floats(0.1, 5))
+    def test_never_widens(self, width, delay):
+        assert degrade(width, delay) <= width + 1e-12
+
+    @given(st.floats(0.01, 20), st.floats(0.1, 5))
+    def test_inverse_roundtrip(self, target, delay):
+        needed = required_input_width(target, delay)
+        assert degrade(needed, delay) >= target - 1e-9
+
+
+class TestRequiredWidths:
+    def chain(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("g1", "NOT", ["a"])   # d = 1
+        c.add_gate("g2", "BUF", ["g1"])  # d = 2
+        c.add_dff("q", "g2")
+        c.add_output("q")
+        return c
+
+    def test_backward_accumulation(self):
+        c = self.chain()
+        req = required_widths(c, latch_width=1.0)
+        # g2 needs 1.0 at the register; 1 < 2*d(g2)=4 -> in = 0.5 + 2.
+        assert req["g2"] == pytest.approx(1.0)
+        assert req["g1"] == pytest.approx(required_input_width(1.0, 2.0))
+        assert req["a"] == pytest.approx(
+            required_input_width(req["g1"], 1.0))
+
+    def test_unobservable_is_infinite(self):
+        c = Circuit("dead")
+        c.add_input("a")
+        c.add_gate("g", "NOT", ["a"])
+        c.add_gate("dead", "BUF", ["a"])
+        c.add_output("g")
+        req = required_widths(c)
+        assert math.isinf(req["dead"])
+
+    def test_bad_latch_width(self):
+        with pytest.raises(AnalysisError):
+            required_widths(self.chain(), latch_width=0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_consistent_with_forward_propagation(self, seed):
+        """A pulse of exactly the required width survives to a latch
+        point; anything meaningfully below it does not."""
+        c = tiny_random(seed, n_gates=10, n_dffs=4)
+        req = required_widths(c, latch_width=1.0)
+        observed = set(c.outputs) | {d.d for d in c.dffs.values()}
+
+        def latched(width_map):
+            return any(width_map[n] >= 1.0 - 1e-9 for n in observed)
+
+        for net in list(c.gates)[:5]:
+            needed = req[net]
+            if math.isinf(needed):
+                continue
+            assert latched(propagate_pulse(c, net, needed)), net
+            if needed > 0.2:
+                assert not latched(propagate_pulse(c, net, needed * 0.5))
+
+
+class TestDerating:
+    def test_factors_bounded(self, tiny_circuit):
+        derate = electrical_derating(tiny_circuit, tau=2.0)
+        assert all(0.0 <= v <= 1.0 for v in derate.values())
+
+    def test_longer_tau_less_masking(self, tiny_circuit):
+        soft = electrical_derating(tiny_circuit, tau=0.5)
+        hard = electrical_derating(tiny_circuit, tau=5.0)
+        for net in tiny_circuit.gates:
+            assert hard[net] >= soft[net]
+
+    def test_bad_tau(self, tiny_circuit):
+        with pytest.raises(AnalysisError):
+            electrical_derating(tiny_circuit, tau=0.0)
+
+    def test_ser_engine_integration(self, tiny_circuit):
+        from repro.ser.analysis import analyze_ser
+
+        base = analyze_ser(tiny_circuit, 20.0, n_frames=3, n_patterns=64,
+                           seed=0)
+        derated = analyze_ser(tiny_circuit, 20.0, n_frames=3,
+                              n_patterns=64, seed=0, electrical_tau=2.0)
+        assert derated.total <= base.total
+        assert derated.total > 0

@@ -1,0 +1,117 @@
+"""Tests for SEU injection with sensitized timing-accurate propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.elw import circuit_elws
+from repro.core.intervals import IntervalSet
+from repro.errors import SimulationError
+from repro.netlist import Circuit
+from repro.sim.bitvec import from_bits, random_patterns
+from repro.sim.faults import (
+    merge_intervals,
+    propagate_glitch,
+    sensitized_latching_windows,
+)
+from repro.sim.logicsim import simulate_comb
+from tests.conftest import tiny_random
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_overlap(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+
+class TestPropagation:
+    def test_unknown_source(self, tiny_circuit):
+        with pytest.raises(SimulationError):
+            propagate_glitch(tiny_circuit, {}, "ghost", 4)
+
+    def test_single_path_delay(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("g0", "NOT", ["a"])
+        c.add_gate("g1", "BUF", ["g0"])
+        c.add_dff("q", "g1")
+        c.add_output("q")
+        n = 8
+        frame = simulate_comb(c, {"a": from_bits([1] * n),
+                                  "q": from_bits([0] * n)}, n)
+        res = propagate_glitch(c, frame, "a", n)
+        # a -> g0 (d=1) -> g1 (d=2) -> register: one arrival at delay 3.
+        assert len(res.arrivals) == 1
+        kind, net, delay, mask = res.arrivals[0]
+        assert kind == "dff" and net == "q"
+        assert delay == pytest.approx(
+            c.gate_delay("g0") + c.gate_delay("g1"))
+        from repro.sim.bitvec import popcount
+
+        assert popcount(mask) == n  # NOT/BUF never mask
+
+    def test_logic_masking(self):
+        c = Circuit("mask")
+        c.add_input("a")
+        c.add_input("en")
+        c.add_gate("g", "AND", ["a", "en"])
+        c.add_output("g")
+        n = 4
+        frame = simulate_comb(c, {"a": from_bits([0, 1, 0, 1]),
+                                  "en": from_bits([0, 0, 1, 1])}, n)
+        res = propagate_glitch(c, frame, "a", n)
+        from repro.sim.bitvec import to_bits
+
+        masks = [to_bits(m, n) for _, _, _, m in res.arrivals]
+        combined = np.bitwise_or.reduce(masks)
+        # Observable exactly when en == 1.
+        assert list(combined) == [0, 0, 1, 1]
+
+    def test_reconvergent_xor_cancels(self):
+        # y = XOR(a, a) via two equal-delay branches: flip cancels.
+        c = Circuit("cancel")
+        c.add_input("a")
+        c.add_gate("p", "BUF", ["a"])
+        c.add_gate("q", "BUF", ["a"])
+        c.add_gate("y", "XOR", ["p", "q"])
+        c.add_output("y")
+        n = 4
+        frame = simulate_comb(c, {"a": from_bits([0, 1, 0, 1])}, n)
+        res = propagate_glitch(c, frame, "p", n)
+        # Through p only: always sensitized (q holds the other branch).
+        assert res.arrivals
+        # From a itself: both XOR inputs flip -> gate-level sensitization
+        # of the *pair* cancels at equal delays is NOT modeled (single-
+        # input flips per gate); a flips p and q separately, each
+        # sensitized -- the glitch model tracks single-path effects.
+        res_a = propagate_glitch(c, frame, "a", n)
+        assert res_a.arrivals
+
+
+class TestAgainstStructuralElw:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_sensitized_windows_inside_structural_elw(self, seed):
+        """Eq. (3)'s structural ELW contains every per-pattern sensitized
+        latching window (it ignores logic masking, so it is a superset)."""
+        c = tiny_random(seed, n_gates=8, n_dffs=3)
+        n = 32
+        rng = np.random.default_rng(seed)
+        values = {net: random_patterns(n, rng)
+                  for net in list(c.inputs) + list(c.dffs)}
+        frame = simulate_comb(c, values, n)
+        phi, setup, hold = 40.0, 0.0, 2.0
+        elws = circuit_elws(c, phi, setup, hold)
+        for net in list(c.gates)[:4]:
+            windows = sensitized_latching_windows(
+                c, frame, net, n, phi, setup, hold)
+            structural = elws[net]
+            for per_pattern in windows:
+                sens = IntervalSet(per_pattern)
+                assert structural.covers(sens, tol=1e-6), (
+                    f"{net}: {sens} not inside {structural}")

@@ -1,0 +1,87 @@
+"""Unit tests for multi-cycle sequential simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist import Circuit
+from repro.sim.bitvec import from_bits, get_bit, popcount
+from repro.sim.sequential import (
+    SequentialSimulator,
+    random_state,
+    reset_state,
+    simulate_trace,
+)
+
+
+def shift_register(length: int = 4) -> Circuit:
+    c = Circuit("shift")
+    c.add_input("d")
+    prev = "d"
+    for i in range(length):
+        buf = c.add_gate(f"b{i}", "BUF", [prev])
+        prev = c.add_dff(f"q{i}", buf)
+    c.add_output(prev)
+    return c
+
+
+class TestSimulator:
+    def test_shift_register_delay(self):
+        c = shift_register(3)
+        sim = SequentialSimulator(c, 1)
+        outputs = []
+        stream = [1, 0, 1, 1, 0, 0, 1, 0]
+        for bit in stream:
+            nets = sim.step({"d": from_bits([bit])})
+            outputs.append(get_bit(nets["q2"], 0))
+        # q2 lags d by 3 cycles; first 3 outputs are the reset zeros.
+        assert outputs == [0, 0, 0] + stream[:-3]
+
+    def test_reset_state_uses_init(self):
+        c = Circuit("init1")
+        c.add_input("a")
+        c.add_gate("g", "BUF", ["a"])
+        c.add_dff("q", "g", init=1)
+        c.add_output("q")
+        state = reset_state(c, 8)
+        assert popcount(state["q"]) == 8
+
+    def test_state_advances(self, tiny_circuit):
+        sim = SequentialSimulator(tiny_circuit, 4)
+        nets = sim.step({"a": from_bits([1, 1, 0, 0]),
+                         "b": from_bits([1, 0, 1, 0])})
+        assert np.array_equal(sim.state["s1"], nets["g2"])
+        assert sim.cycle == 1
+
+    def test_missing_state_rejected(self, tiny_circuit):
+        with pytest.raises(SimulationError):
+            SequentialSimulator(tiny_circuit, 4, state={})
+
+    def test_initial_state_copied(self, tiny_circuit):
+        state = reset_state(tiny_circuit, 4)
+        sim = SequentialSimulator(tiny_circuit, 4, state=state)
+        sim.step({"a": from_bits([1] * 4), "b": from_bits([1] * 4)})
+        # The caller's dict must not be mutated.
+        assert popcount(state["s1"]) == 0
+
+    def test_step_random_deterministic(self, tiny_circuit):
+        out1, out2 = [], []
+        for out in (out1, out2):
+            rng = np.random.default_rng(5)
+            sim = SequentialSimulator(tiny_circuit, 16)
+            for _ in range(5):
+                nets = sim.step_random(rng)
+                out.append(nets["y"].copy())
+        assert all(np.array_equal(a, b) for a, b in zip(out1, out2))
+
+    def test_simulate_trace(self, tiny_circuit):
+        trace = [{"a": from_bits([1, 0]), "b": from_bits([1, 1])}
+                 for _ in range(3)]
+        frames = simulate_trace(tiny_circuit, trace, 2)
+        assert len(frames) == 3
+        assert all("y" in frame for frame in frames)
+
+    def test_random_state_shape(self, tiny_circuit):
+        state = random_state(tiny_circuit, 128, np.random.default_rng(0))
+        assert set(state) == set(tiny_circuit.dffs)
+        assert all(len(v) == 2 for v in state.values())

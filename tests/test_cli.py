@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.circuits import random_sequential_circuit
+from repro.netlist import dump_bench
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    circuit = random_sequential_circuit(
+        "clitest", n_gates=80, n_dffs=24, n_inputs=6, n_outputs=6, seed=2)
+    path = tmp_path / "clitest.bench"
+    dump_bench(circuit, path)
+    return str(path)
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (["analyze", "x.bench"],
+                     ["retime", "x.bench", "-a", "minobs"],
+                     ["compare", "x.bench"],
+                     ["table1", "s13207"],
+                     ["generate", "out.bench", "--gates", "50"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_bad_algorithm_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["retime", "x.bench", "-a", "magic"])
+
+
+class TestCommands:
+    def test_analyze(self, bench_file, capsys):
+        code = main(["analyze", bench_file, "--frames", "3",
+                     "--patterns", "64", "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total SER" in out
+
+    def test_retime_writes_output(self, bench_file, tmp_path, capsys):
+        out_path = str(tmp_path / "out.bench")
+        code = main(["retime", bench_file, "-a", "minobswin",
+                     "-o", out_path, "--frames", "3", "--patterns", "64"])
+        assert code == 0
+        from repro.netlist import load_bench
+
+        retimed = load_bench(out_path)
+        assert retimed.n_gates >= 80
+
+    def test_retime_verilog_output(self, bench_file, tmp_path):
+        out_path = str(tmp_path / "out.v")
+        assert main(["retime", bench_file, "-o", out_path, "--frames",
+                     "2", "--patterns", "64"]) == 0
+        assert "module" in open(out_path).read()
+
+    def test_compare(self, bench_file, capsys):
+        code = main(["compare", bench_file, "--frames", "3",
+                     "--patterns", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dSER_new" in out
+
+    def test_table1_subset(self, capsys):
+        code = main(["table1", "s13207", "b14_opt", "--scale", "0.004",
+                     "--frames", "2", "--patterns", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s13207" in out and "AVG" in out
+
+    def test_generate_row(self, tmp_path, capsys):
+        out_path = str(tmp_path / "row.bench")
+        code = main(["generate", out_path, "--row", "b14_opt",
+                     "--scale", "0.004"])
+        assert code == 0
+        from repro.netlist import load_bench
+
+        assert load_bench(out_path).n_gates > 50
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bench"
+        bad.write_text("garbage line\n")
+        code = main(["analyze", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

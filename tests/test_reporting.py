@@ -1,0 +1,97 @@
+"""Tests for JSON result reporting."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.errors import AnalysisError
+from repro.pipeline import optimize_circuit
+from repro.reporting import (
+    load_results,
+    result_to_dict,
+    save_results,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    circuit = random_sequential_circuit(
+        "report", n_gates=70, n_dffs=20, n_inputs=6, n_outputs=6, seed=4)
+    return optimize_circuit(circuit, n_frames=4, n_patterns=64)
+
+
+class TestFlattening:
+    def test_plain_json_types(self, result):
+        import json
+
+        flattened = result_to_dict(result)
+        text = json.dumps(flattened)  # must not raise
+        assert "minobswin" in text
+
+    def test_fields(self, result):
+        d = result_to_dict(result)
+        assert d["circuit"] == "report"
+        assert d["phi"] > 0
+        assert set(d["algorithms"]) == {"minobs", "minobswin"}
+        for entry in d["algorithms"].values():
+            assert entry["runtime"] >= 0
+            assert entry["registers"] > 0
+
+    def test_labels_optional(self, result):
+        without = result_to_dict(result)
+        with_labels = result_to_dict(result, include_labels=True)
+        assert "retiming" not in without["algorithms"]["minobs"]
+        labels = with_labels["algorithms"]["minobs"]["retiming"]
+        assert labels[0] == 0  # host
+        assert len(labels) == result.vertices + 1
+
+    def test_labels_reapply(self, result):
+        """Stored labels reproduce the retimed register count."""
+        from repro.graph.retiming_graph import RetimingGraph
+        from repro.retime.apply import apply_retiming
+
+        d = result_to_dict(result, include_labels=True)
+        circuit = result.outcomes["minobs"].circuit  # rebuilt one
+        # Re-apply to the *original* via a fresh pipeline run instead:
+        original = random_sequential_circuit(
+            "report", n_gates=70, n_dffs=20, n_inputs=6, n_outputs=6,
+            seed=4)
+        graph = RetimingGraph.from_circuit(original)
+        r = np.array(d["algorithms"]["minobs"]["retiming"])
+        rebuilt = apply_retiming(original, graph, r)
+        assert rebuilt.n_dffs == d["algorithms"]["minobs"]["registers"]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result], path)
+        loaded = load_results(path)
+        assert len(loaded) == 1
+        assert loaded[0]["circuit"] == "report"
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(AnalysisError):
+            load_results(path)
+
+    def test_summarize(self, result):
+        stats = summarize([result_to_dict(result)])
+        assert "dser_minobs" in stats
+        assert "ser_ratio" in stats
+        assert stats["ser_ratio"] > 0
+
+
+class TestCliJson:
+    def test_table1_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t1.json"
+        code = main(["table1", "s13207", "--scale", "0.004",
+                     "--frames", "2", "--patterns", "64",
+                     "--json", str(out)])
+        assert code == 0
+        loaded = load_results(out)
+        assert loaded[0]["circuit"] == "s13207"

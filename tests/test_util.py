@@ -1,0 +1,98 @@
+"""Unit tests for repro._util."""
+
+import pytest
+
+from repro._util import (
+    check_name,
+    format_table,
+    percent,
+    stable_unique,
+    topological_order,
+)
+from repro.errors import CombinationalCycleError
+
+
+class TestTopologicalOrder:
+    def test_linear_chain(self):
+        preds = {"a": [], "b": ["a"], "c": ["b"]}
+        order = topological_order(["c", "b", "a"], lambda n: preds[n])
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_diamond(self):
+        preds = {"a": [], "b": ["a"], "c": ["a"], "d": ["b", "c"]}
+        order = topological_order("abcd", lambda n: preds[n])
+        assert order[0] == "a" and order[-1] == "d"
+
+    def test_external_predecessors_ignored(self):
+        order = topological_order(["x"], lambda n: ["not-in-set"])
+        assert order == ["x"]
+
+    def test_cycle_detected(self):
+        preds = {"a": ["b"], "b": ["a"]}
+        with pytest.raises(CombinationalCycleError) as exc:
+            topological_order("ab", lambda n: preds[n])
+        assert set(exc.value.cycle) == {"a", "b"}
+
+    def test_self_loop(self):
+        with pytest.raises(CombinationalCycleError):
+            topological_order(["a"], lambda n: ["a"])
+
+    def test_empty(self):
+        assert topological_order([], lambda n: []) == []
+
+    def test_deterministic(self):
+        preds = {c: [] for c in "abcdef"}
+        first = topological_order("abcdef", lambda n: preds[n])
+        second = topological_order("abcdef", lambda n: preds[n])
+        assert first == second
+
+
+class TestCheckName:
+    def test_valid(self):
+        assert check_name("G17_a.b[3]", "net") == "G17_a.b[3]"
+
+    @pytest.mark.parametrize("bad", ["", "a b", "a(b", "x=y", "a,b", "a#b"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            check_name(bad, "net")
+
+    def test_non_string(self):
+        with pytest.raises(ValueError):
+            check_name(3, "net")  # type: ignore[arg-type]
+
+
+class TestStableUnique:
+    def test_preserves_order(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_empty(self):
+        assert stable_unique([]) == []
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 10], ["bb", 2]],
+                            align="lr")
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("a")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_align_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [], align="lrl")
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_decrease(self):
+        assert percent(50.0, 100.0) == pytest.approx(-50.0)
+
+    def test_zero_base(self):
+        assert percent(5.0, 0.0) == 0.0
