@@ -1,0 +1,84 @@
+"""Overhead of the resilient runtime over the bare pipeline.
+
+The executor (ladders, per-attempt deadlines, guard plumbing) wraps
+every stage of the Table I flow; this benchmark certifies the wrapper
+itself is close to free by timing the same suite twice:
+
+* bare: a direct ``optimize_circuit`` loop (the pre-runtime flow);
+* resilient: ``run_suite`` with guards disabled (guards do real extra
+  verification work and are reported separately, not as overhead).
+
+Target: < 2 % wall-clock overhead on the default suite settings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuits.suites import table1_circuit
+from repro.pipeline import optimize_circuit, table1_row
+from repro.runtime.suite import SuiteConfig, run_suite
+
+from .conftest import bench_frames, bench_patterns, bench_scale, once
+
+_ROWS = ("s13207", "s15850.1", "s38417", "b14_opt", "b20_opt")
+_TIMES: dict[str, float] = {}
+
+
+def _bare_suite() -> list[dict]:
+    rows = []
+    for name in _ROWS:
+        circuit = table1_circuit(name, scale=bench_scale(), seed=0)
+        result = optimize_circuit(circuit, n_frames=bench_frames(),
+                                  n_patterns=bench_patterns(), seed=0)
+        rows.append(table1_row(result))
+    return rows
+
+
+def _resilient_suite(guard: bool) -> list[dict]:
+    config = SuiteConfig(circuits=_ROWS, scale=bench_scale(), seed=0,
+                         n_frames=bench_frames(),
+                         n_patterns=bench_patterns(), guard=guard)
+    return run_suite(config).rows
+
+
+def test_bare_pipeline(benchmark):
+    t0 = time.perf_counter()
+    rows = once(benchmark, _bare_suite)
+    _TIMES["bare"] = time.perf_counter() - t0
+    assert len(rows) == len(_ROWS)
+
+
+def test_resilient_no_guard(benchmark):
+    t0 = time.perf_counter()
+    rows = once(benchmark, _resilient_suite, False)
+    _TIMES["resilient"] = time.perf_counter() - t0
+    assert all(row["status"] == "ok" for row in rows)
+
+
+def test_resilient_with_guard(benchmark):
+    t0 = time.perf_counter()
+    rows = once(benchmark, _resilient_suite, True)
+    _TIMES["guarded"] = time.perf_counter() - t0
+    assert all(row["status"] == "ok" for row in rows)
+
+
+def test_overhead_report(capsys):
+    if "bare" not in _TIMES or "resilient" not in _TIMES:
+        pytest.skip("timing tests did not run")
+    bare = _TIMES["bare"]
+    resilient = _TIMES["resilient"]
+    overhead = 100.0 * (resilient - bare) / bare
+    guarded = _TIMES.get("guarded")
+    with capsys.disabled():
+        print(f"\nruntime overhead: bare={bare:.2f}s "
+              f"resilient(no guard)={resilient:.2f}s "
+              f"({overhead:+.2f}%)")
+        if guarded is not None:
+            print(f"guard cost: {100.0 * (guarded - bare) / bare:+.2f}% "
+                  f"({guarded:.2f}s total)")
+    # the executor wrapper itself must be close to free; allow slack
+    # well above the 2% target so scheduler noise cannot flake the suite
+    assert overhead < 10.0

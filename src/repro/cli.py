@@ -23,12 +23,24 @@ from ._util import percent
 from .errors import ReproError
 
 
-def _load(path: str):
-    from .netlist import load_bench, load_blif
+#: Extensions `_load` understands, mapped to their reader names.
+_LOADERS = {".bench": "load_bench", ".blif": "load_blif"}
 
-    if path.endswith(".blif"):
-        return load_blif(path)
-    return load_bench(path)
+
+def _load(path: str):
+    import os
+
+    from . import netlist
+
+    ext = os.path.splitext(path)[1].lower()
+    reader = _LOADERS.get(ext)
+    if reader is None:
+        supported = ", ".join(sorted(_LOADERS))
+        raise ReproError(
+            f"unsupported netlist extension {ext or '(none)'!r} for "
+            f"{path!r}: supported input formats are {supported} "
+            f"(.v is write-only)")
+    return getattr(netlist, reader)(path)
 
 
 def _save(circuit, path: str) -> None:
@@ -49,11 +61,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from .ser.report import format_ser_report
 
     circuit = _load(args.netlist)
+    # Use the library's register characterization exactly the way
+    # pipeline.optimize_circuit does, so the SER reported here matches
+    # the pipeline's numbers for the same netlist and clock period.
+    setup = circuit.library.setup_time
+    hold = circuit.library.hold_time
     if args.phi is None:
         graph = RetimingGraph.from_circuit(circuit)
-        args.phi = achieved_period(graph, graph.zero_retiming(),
-                                   circuit.library.setup_time)
-    analysis = analyze_ser(circuit, args.phi, n_frames=args.frames,
+        args.phi = achieved_period(graph, graph.zero_retiming(), setup)
+    analysis = analyze_ser(circuit, args.phi, setup, hold,
+                           n_frames=args.frames,
                            n_patterns=args.patterns, seed=args.seed)
     print(format_ser_report(circuit.name, analysis, top=args.top))
     return 0
@@ -66,7 +83,7 @@ def cmd_retime(args: argparse.Namespace) -> int:
     result = optimize_circuit(
         circuit, algorithms=(args.algorithm,), n_frames=args.frames,
         n_patterns=args.patterns, seed=args.seed, epsilon=args.epsilon,
-        maximal_start=args.maximal_start)
+        maximal_start=args.maximal_start, deadline=args.deadline)
     outcome = result.outcomes[args.algorithm]
     print(f"circuit      : {circuit.name}")
     print(f"phi / R_min  : {result.phi:.3f} / {result.init.rmin:.3f}"
@@ -93,41 +110,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = optimize_circuit(circuit, n_frames=args.frames,
                               n_patterns=args.patterns, seed=args.seed,
                               epsilon=args.epsilon,
-                              maximal_start=args.maximal_start)
+                              maximal_start=args.maximal_start,
+                              deadline=args.deadline)
     print(format_comparison([table1_row(result)]))
     return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    from .circuits.suites import TABLE1_ROWS, table1_circuit
-    from .pipeline import optimize_circuit, table1_row
+    from .circuits.suites import TABLE1_ROWS
+    from .runtime.suite import SuiteConfig, run_suite
     from .ser.report import format_comparison
 
     names = args.circuits or [row.name for row in TABLE1_ROWS]
-    rows = []
-    results = []
-    for name in names:
-        circuit = table1_circuit(name, scale=args.scale, seed=args.seed)
-        result = optimize_circuit(circuit, n_frames=args.frames,
-                                  n_patterns=args.patterns,
-                                  seed=args.seed, epsilon=args.epsilon,
-                                  maximal_start=args.maximal_start)
-        rows.append(table1_row(result))
-        results.append(result)
-        if args.verbose:
-            print(f"done {name}", file=sys.stderr)
+    config = SuiteConfig(
+        circuits=tuple(names), scale=args.scale, seed=args.seed,
+        n_frames=args.frames, n_patterns=args.patterns,
+        epsilon=args.epsilon, maximal_start=args.maximal_start,
+        deadline=args.deadline, max_retries=args.max_retries,
+        strict=args.strict, guard=not args.no_guard)
+    progress = (lambda line: print(line, file=sys.stderr)) \
+        if args.verbose else None
+    suite = run_suite(config, manifest_path=args.resume, progress=progress)
+    rows = suite.rows
     print(format_comparison(rows))
     _print_table1_averages(rows)
+    for failure in suite.failures:
+        print(f"warning: {failure.circuit}/{failure.stage}"
+              f"[{failure.rung}] {failure.error}: {failure.message} "
+              f"-> {failure.action}", file=sys.stderr)
     if args.json:
         from .reporting import save_results
 
-        save_results(results, args.json)
+        save_results(suite.reports, args.json)
         print(f"JSON report written to {args.json}", file=sys.stderr)
     return 0
 
 
 def _print_table1_averages(rows) -> None:
-    import numpy as np
+    import math
+
+    def mean(values):
+        finite = [v for v in values if math.isfinite(v)]
+        return sum(finite) / len(finite) if finite else float("nan")
 
     d_ref = [percent(r["ref_ser"], r["ser"]) for r in rows]
     d_new = [percent(r["new_ser"], r["ser"]) for r in rows]
@@ -135,11 +159,11 @@ def _print_table1_averages(rows) -> None:
              if r["new_ser"]]
     dff_ref = [percent(r["ref_ff"], r["FF"]) for r in rows]
     dff_new = [percent(r["new_ff"], r["FF"]) for r in rows]
-    print(f"AVG  dSER_ref {np.mean(d_ref):+.1f}%  "
-          f"dSER_new {np.mean(d_new):+.1f}%  "
-          f"SER_ref/SER_new {np.mean(ratio):.0f}%  "
-          f"dFF_ref {np.mean(dff_ref):+.1f}%  "
-          f"dFF_new {np.mean(dff_new):+.1f}%")
+    print(f"AVG  dSER_ref {mean(d_ref):+.1f}%  "
+          f"dSER_new {mean(d_new):+.1f}%  "
+          f"SER_ref/SER_new {mean(ratio):.0f}%  "
+          f"dFF_ref {mean(dff_ref):+.1f}%  "
+          f"dFF_new {mean(dff_new):+.1f}%")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -187,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--maximal-start", action="store_true",
                        help="start from the pointwise-maximal feasible "
                             "retiming instead of the Sec. V start")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-stage wall-clock budget; an expired "
+                            "solve yields its best feasible retiming "
+                            "(table1 degrades, retime/compare abort)")
 
     p = sub.add_parser("retime", help="retime a netlist for low SER")
     p.add_argument("netlist")
@@ -211,6 +240,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite scale factor (default from suites module)")
     p.add_argument("--json", default=None,
                    help="also write a machine-readable report here")
+    p.add_argument("--resume", default=None, metavar="MANIFEST",
+                   help="checkpoint manifest path: completed circuits "
+                        "are written there after each row and skipped "
+                        "when re-running after an interruption")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="extra attempts per stage before degrading "
+                        "(stochastic stages reseed on retry)")
+    p.add_argument("--strict", action="store_true",
+                   help="abort on the first failure instead of "
+                        "degrading (debugging mode)")
+    p.add_argument("--no-guard", action="store_true",
+                   help="skip the post-retime verification guard")
     p.add_argument("-v", "--verbose", action="store_true")
     common(p)
     solver_opts(p)
@@ -242,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # unreadable netlists, unwritable outputs / run manifests
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -10,6 +10,8 @@ LP of [17] solves; this module is exactly that construction.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from .constraints import Problem
@@ -19,13 +21,18 @@ from .minobswin import RetimingResult, minobswin_retiming
 def minobs_retiming(problem: Problem, r0: np.ndarray,
                     restart: bool = True, jump: bool = True,
                     max_iterations: int | None = None,
-                    keep_trace: bool = False) -> RetimingResult:
+                    keep_trace: bool = False,
+                    deadline: float | None = None,
+                    should_stop: Callable[[], bool] | None = None,
+                    ) -> RetimingResult:
     """Minimum-observability retiming without ELW constraints.
 
     Identical interface to
-    :func:`repro.core.minobswin.minobswin_retiming`; the instance's
+    :func:`repro.core.minobswin.minobswin_retiming` (including the
+    ``deadline`` / ``should_stop`` cancellation hooks); the instance's
     ``rmin`` is ignored because P2' is never checked.
     """
     return minobswin_retiming(problem, r0, skip_p2=True, restart=restart,
                               jump=jump, max_iterations=max_iterations,
-                              keep_trace=keep_trace)
+                              keep_trace=keep_trace, deadline=deadline,
+                              should_stop=should_stop)

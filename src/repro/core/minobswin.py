@@ -29,11 +29,12 @@ disabled -- the paper's own construction ("commenting out Line 9-12 and
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import InfeasibleError, RetimingError
+from ..errors import DeadlineExceeded, InfeasibleError, RetimingError
 from .constraints import Problem, Violation, check_constraints, find_violations
 from .regular_forest import RegularForest
 
@@ -81,7 +82,10 @@ class RetimingResult:
 def minobswin_retiming(problem: Problem, r0: np.ndarray,
                        skip_p2: bool = False, restart: bool = True,
                        jump: bool = True, max_iterations: int | None = None,
-                       keep_trace: bool = False) -> RetimingResult:
+                       keep_trace: bool = False,
+                       deadline: float | None = None,
+                       should_stop: Callable[[], bool] | None = None,
+                       ) -> RetimingResult:
     """Solve Problem 1 starting from the feasible retiming ``r0``.
 
     Parameters
@@ -103,9 +107,22 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
         Safety cap; defaults to ``200 |V| + 10000``.
     keep_trace:
         Record the event trace in the result.
+    deadline:
+        Wall-clock budget in seconds for this call.  Checked once per
+        main-loop iteration; on expiry the solver raises
+        :class:`~repro.errors.DeadlineExceeded` carrying the best
+        feasible retiming found so far (``best_r``) and a partial
+        :class:`RetimingResult` (``partial``) -- only feasible moves are
+        ever committed, so both are always usable.
+    should_stop:
+        Cooperative cancellation hook, polled once per iteration; when
+        it returns True the solver raises ``DeadlineExceeded`` exactly
+        as for an expired ``deadline``.
     """
     graph = problem.graph
     start = time.perf_counter()
+    deadline_at = None if deadline is None else start + float(deadline)
+    stage = "minobs" if skip_p2 else "minobswin"
     r = np.asarray(r0, dtype=np.int64).copy()
     graph.validate_retiming(r)
     first_violation = check_constraints(problem, r, skip_p2=skip_p2)
@@ -134,6 +151,21 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
                 raise RetimingError(
                     f"solver exceeded {max_iterations} iterations; "
                     "this indicates a diagnosis loop (please report)")
+            now = time.perf_counter()
+            cancelled = should_stop is not None and should_stop()
+            if cancelled or (deadline_at is not None and now > deadline_at):
+                elapsed = now - start
+                partial = RetimingResult(
+                    r=r.copy(), objective=problem.objective(r),
+                    commits=commits, iterations=iterations, passes=passes,
+                    constraints_added=constraints_added, blocked=blocked,
+                    runtime=elapsed, trace=trace)
+                reason = "cancelled by should_stop" if cancelled else \
+                    f"exceeded its {deadline:g}s deadline"
+                raise DeadlineExceeded(
+                    f"{stage} solve {reason} after {elapsed:.3f}s "
+                    f"({commits} commits so far)", stage=stage,
+                    elapsed=elapsed, best_r=r.copy(), partial=partial)
             delta = forest.positive_delta()
             if not delta.any():
                 break  # pass exhausted

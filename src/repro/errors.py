@@ -76,6 +76,60 @@ class InfeasibleError(RetimingError):
     """
 
 
+class ExecutionError(ReproError):
+    """A resilient-execution stage failed (see :mod:`repro.runtime`)."""
+
+
+class DeadlineExceeded(ExecutionError):
+    """A stage ran past its wall-clock deadline (or was cancelled).
+
+    Cooperative stages (the retiming solvers) raise this from inside
+    their main loop, so the partial progress is not lost:
+
+    Attributes
+    ----------
+    stage:
+        Name of the stage that timed out, or ``None``.
+    elapsed:
+        Seconds the stage ran before giving up, or ``None``.
+    best_r:
+        The best *feasible* retiming labels found before the deadline
+        (solvers only commit feasible moves, so this is always usable),
+        or ``None`` when the stage has no retiming to offer.
+    partial:
+        Optional richer partial result (e.g. a
+        :class:`~repro.core.minobswin.RetimingResult` built from
+        ``best_r`` plus the solver counters at the moment of cancellation).
+    """
+
+    def __init__(self, message: str, stage: str | None = None,
+                 elapsed: float | None = None, best_r=None, partial=None):
+        self.stage = stage
+        self.elapsed = elapsed
+        self.best_r = best_r
+        self.partial = partial
+        super().__init__(message)
+
+
+class VerificationError(ExecutionError):
+    """A post-retime verification guard rejected a result.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.runtime.guards.GuardReport` that failed, or
+        ``None``.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
+
+
+class ManifestError(ExecutionError):
+    """A run manifest is malformed or incompatible with the run."""
+
+
 class TimingError(ReproError):
     """Timing analysis failed (e.g. negative delay, inconsistent labels)."""
 

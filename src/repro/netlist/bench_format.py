@@ -38,7 +38,8 @@ def loads_bench(text: str, name: str = "bench",
     read.
     """
     circuit = Circuit(name, library)
-    pending_outputs: list[str] = []
+    pending_outputs: list[tuple[str, int]] = []
+    decl_lines: dict[str, int] = {}
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -54,9 +55,13 @@ def loads_bench(text: str, name: str = "bench",
                 raise ParseError(f"empty {keyword.upper()} declaration",
                                  path, lineno)
             if keyword.upper() == "INPUT":
-                circuit.add_input(net)
+                try:
+                    circuit.add_input(net)
+                except Exception as exc:  # e.g. duplicate net
+                    raise ParseError(str(exc), path, lineno) from exc
+                decl_lines[net] = lineno
             else:
-                pending_outputs.append(net)
+                pending_outputs.append((net, lineno))
             continue
 
         if "=" not in line:
@@ -84,14 +89,17 @@ def loads_bench(text: str, name: str = "bench",
             raise
         except Exception as exc:  # library / netlist errors -> parse errors
             raise ParseError(str(exc), path, lineno) from exc
+        decl_lines[lhs] = lineno
 
-    for net in pending_outputs:
-        circuit.add_output(net)
+    for net, lineno in pending_outputs:
+        try:
+            circuit.add_output(net)
+        except Exception as exc:
+            raise ParseError(str(exc), path, lineno) from exc
 
-    # Reference check now that the whole file is read.
-    from .validate import validate_circuit
+    from .validate import validate_parsed
 
-    validate_circuit(circuit, require_outputs=False)
+    validate_parsed(circuit, decl_lines, dict(pending_outputs), path)
     return circuit
 
 

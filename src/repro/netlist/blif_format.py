@@ -87,6 +87,8 @@ def loads_blif(text: str, library: CellLibrary | None = None,
     """Parse BLIF source text into a :class:`Circuit`."""
     circuit: Circuit | None = None
     pending_outputs: list[str] = []
+    decl_lines: dict[str, int] = {}
+    output_lines: dict[str, int] = {}
 
     # Join continuation lines ending in a backslash.
     logical_lines: list[tuple[int, str]] = []
@@ -116,9 +118,15 @@ def loads_blif(text: str, library: CellLibrary | None = None,
             raise ParseError("statement before .model", path, lineno)
         if line.startswith(".inputs"):
             for net in line.split()[1:]:
-                circuit.add_input(net)
+                try:
+                    circuit.add_input(net)
+                except Exception as exc:  # e.g. duplicate net
+                    raise ParseError(str(exc), path, lineno) from exc
+                decl_lines[net] = lineno
         elif line.startswith(".outputs"):
-            pending_outputs.extend(line.split()[1:])
+            for net in line.split()[1:]:
+                pending_outputs.append(net)
+                output_lines.setdefault(net, lineno)
         elif line.startswith(".latch"):
             parts = line.split()[1:]
             if len(parts) < 2:
@@ -127,7 +135,11 @@ def loads_blif(text: str, library: CellLibrary | None = None,
             init = 0
             if len(parts) > 2 and parts[-1] in ("0", "1", "2", "3"):
                 init = int(parts[-1]) & 1  # treat don't-care/unknown as 0
-            circuit.add_dff(q, d, init)
+            try:
+                circuit.add_dff(q, d, init)
+            except Exception as exc:
+                raise ParseError(str(exc), path, lineno) from exc
+            decl_lines[q] = lineno
         elif line.startswith(".names"):
             nets = line.split()[1:]
             if not nets:
@@ -144,10 +156,14 @@ def loads_blif(text: str, library: CellLibrary | None = None,
                 raise ParseError(
                     f"cover for {out_net!r} matches no library gate",
                     path, lineno)
-            if op in ("CONST0", "CONST1"):
-                circuit.add_gate(out_net, op, [])
-            else:
-                circuit.add_gate(out_net, op, in_nets)
+            try:
+                if op in ("CONST0", "CONST1"):
+                    circuit.add_gate(out_net, op, [])
+                else:
+                    circuit.add_gate(out_net, op, in_nets)
+            except Exception as exc:  # e.g. duplicate net, bad arity
+                raise ParseError(str(exc), path, lineno) from exc
+            decl_lines[out_net] = lineno
         elif line.startswith(".end"):
             break
         elif line.startswith("."):
@@ -159,11 +175,14 @@ def loads_blif(text: str, library: CellLibrary | None = None,
     if circuit is None:
         raise ParseError("no .model in BLIF input", path, None)
     for net in pending_outputs:
-        circuit.add_output(net)
+        try:
+            circuit.add_output(net)
+        except Exception as exc:
+            raise ParseError(str(exc), path, output_lines.get(net)) from exc
 
-    from .validate import validate_circuit
+    from .validate import validate_parsed
 
-    validate_circuit(circuit, require_outputs=False)
+    validate_parsed(circuit, decl_lines, output_lines, path)
     return circuit
 
 

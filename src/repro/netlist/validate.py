@@ -53,3 +53,47 @@ def validate_circuit(circuit: Circuit, *, require_outputs: bool = True) -> None:
         raise NetlistError(
             f"circuit {circuit.name!r} has no outputs and no registers; "
             "nothing is observable")
+
+
+def validate_parsed(circuit: Circuit, decl_lines: dict[str, int],
+                    output_lines: dict[str, int],
+                    path: str | None) -> None:
+    """Post-parse validation that attributes failures to source lines.
+
+    Netlist formats allow forward references, so dangling nets and
+    combinational cycles can only be diagnosed once the whole file is
+    read.  ``decl_lines`` maps each declared gate / flip-flop / input
+    back to the line that introduced it and ``output_lines`` maps each
+    declared primary output to its declaration line, so every failure
+    raises a located :class:`~repro.errors.ParseError` instead of a bare
+    :class:`~repro.errors.NetlistError`.
+    """
+    from ..errors import CombinationalCycleError, ParseError
+
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            if not circuit.is_net(net):
+                raise ParseError(
+                    f"gate {gate.name!r} reads undefined net {net!r}",
+                    path, decl_lines.get(gate.name))
+    for dff in circuit.dffs.values():
+        if not circuit.is_net(dff.d):
+            raise ParseError(
+                f"dff {dff.name!r} reads undefined net {dff.d!r}",
+                path, decl_lines.get(dff.name))
+    for net in circuit.outputs:
+        if not circuit.is_net(net):
+            raise ParseError(
+                f"primary output references undefined net {net!r}",
+                path, output_lines.get(net))
+
+    try:
+        validate_circuit(circuit, require_outputs=False)
+    except ParseError:
+        raise
+    except CombinationalCycleError as exc:
+        lineno = min((decl_lines[g] for g in exc.cycle
+                      if g in decl_lines), default=None)
+        raise ParseError(str(exc), path, lineno) from exc
+    except NetlistError as exc:
+        raise ParseError(str(exc), path, None) from exc

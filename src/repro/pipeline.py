@@ -19,6 +19,7 @@ Replicates the paper's experimental procedure (Sec. VI):
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -79,12 +80,60 @@ class PipelineResult:
         return self.init.phi
 
 
+def compute_observability(circuit: Circuit, n_frames: int = 15,
+                          n_patterns: int = 256, seed: int = 0,
+                          ) -> tuple[dict[str, float], float]:
+    """Stage 2 of the flow: per-net observabilities plus wall-clock time.
+
+    Retiming-invariant, so one run serves the original circuit and every
+    retimed version.
+    """
+    t0 = time.perf_counter()
+    obs = observability(circuit, n_frames=n_frames, n_patterns=n_patterns,
+                        seed=seed).obs
+    return obs, time.perf_counter() - t0
+
+
+def build_problem(graph: RetimingGraph, init: InitialRetiming,
+                  obs: Mapping[str, float], n_patterns: int,
+                  setup: float, hold: float) -> Problem:
+    """Stage 4 prelude: assemble the Problem 1 instance from (Phi, R_min)
+    and the integer observability counts."""
+    counts = {net: int(round(value * n_patterns))
+              for net, value in obs.items()}
+    b = gains(graph, counts)
+    return Problem(graph=graph, phi=init.phi, setup=setup, hold=hold,
+                   rmin=init.rmin, b=b)
+
+
+def run_solver(problem: Problem, r0: np.ndarray, algorithm: str,
+               restart: bool = True, deadline: float | None = None,
+               should_stop: Callable[[], bool] | None = None,
+               ) -> RetimingResult:
+    """Stage 4: dispatch one solver by name.
+
+    ``deadline`` / ``should_stop`` are the cooperative-cancellation hooks
+    of :func:`repro.core.minobswin.minobswin_retiming`.
+    """
+    if algorithm == "minobs":
+        return minobs_retiming(problem, r0, restart=restart,
+                               deadline=deadline, should_stop=should_stop)
+    if algorithm == "minobswin":
+        return minobswin_retiming(problem, r0, restart=restart,
+                                  deadline=deadline,
+                                  should_stop=should_stop)
+    raise RetimingError(f"unknown algorithm {algorithm!r}")
+
+
 def optimize_circuit(circuit: Circuit,
                      algorithms: tuple[str, ...] = ("minobs", "minobswin"),
                      n_frames: int = 15, n_patterns: int = 256,
                      seed: int = 0, epsilon: float = 0.10,
                      maximal_start: bool = False,
-                     restart: bool = True) -> PipelineResult:
+                     restart: bool = True,
+                     deadline: float | None = None,
+                     should_stop: Callable[[], bool] | None = None,
+                     ) -> PipelineResult:
     """Run the full Sec. VI experimental flow on one circuit.
 
     Parameters
@@ -98,26 +147,24 @@ def optimize_circuit(circuit: Circuit,
     maximal_start, restart:
         Solver options (see :mod:`repro.core.initialization` and
         :mod:`repro.core.minobswin`).
+    deadline, should_stop:
+        Per-solver-call cancellation hooks; an expired deadline raises
+        :class:`~repro.errors.DeadlineExceeded` carrying the best
+        feasible retiming found so far.  For degradation instead of an
+        exception use :func:`repro.runtime.suite.optimize_resilient`.
     """
     validate_circuit(circuit)
     setup = circuit.library.setup_time
     hold = circuit.library.hold_time
     graph = RetimingGraph.from_circuit(circuit)
 
-    t0 = time.perf_counter()
-    obs = observability(circuit, n_frames=n_frames, n_patterns=n_patterns,
-                        seed=seed).obs
-    obs_runtime = time.perf_counter() - t0
+    obs, obs_runtime = compute_observability(
+        circuit, n_frames=n_frames, n_patterns=n_patterns, seed=seed)
 
     init = initialize(graph, setup, hold, epsilon,
                       maximal_start=maximal_start)
     ser_original = analyze_ser(circuit, init.phi, setup, hold, obs=obs)
-
-    counts = {net: int(round(value * n_patterns))
-              for net, value in obs.items()}
-    b = gains(graph, counts)
-    problem = Problem(graph=graph, phi=init.phi, setup=setup, hold=hold,
-                      rmin=init.rmin, b=b)
+    problem = build_problem(graph, init, obs, n_patterns, setup, hold)
 
     result = PipelineResult(
         name=circuit.name, vertices=graph.n_vertices - 1,
@@ -126,12 +173,8 @@ def optimize_circuit(circuit: Circuit,
         obs_runtime=obs_runtime)
 
     for algorithm in algorithms:
-        if algorithm == "minobs":
-            solved = minobs_retiming(problem, init.r0, restart=restart)
-        elif algorithm == "minobswin":
-            solved = minobswin_retiming(problem, init.r0, restart=restart)
-        else:
-            raise RetimingError(f"unknown algorithm {algorithm!r}")
+        solved = run_solver(problem, init.r0, algorithm, restart=restart,
+                            deadline=deadline, should_stop=should_stop)
         retimed = rebuild_retimed(circuit, graph, solved.r,
                                   name=f"{circuit.name}_{algorithm}")
         ser = analyze_ser(retimed, init.phi, setup, hold, obs=obs)
@@ -139,6 +182,28 @@ def optimize_circuit(circuit: Circuit,
             result=solved, circuit=retimed, ser=ser,
             registers=retimed.n_dffs)
     return result
+
+
+def rebuild_retimed_states(circuit: Circuit, graph: RetimingGraph,
+                           r: np.ndarray, name: str | None = None,
+                           ) -> tuple[Circuit, bool]:
+    """Apply a retiming; report whether initial states are exact.
+
+    Returns ``(retimed, exact_states)``: ``exact_states`` is True when
+    :func:`repro.retime.verify.forward_initial_states` succeeded (the
+    rebuilt circuit is cycle-accurate equivalent from reset), False when
+    it raised :class:`~repro.errors.RetimingError` and every relocated
+    register reset to 0 (equivalent only after a flush period).
+    """
+    try:
+        chain_inits = forward_initial_states(circuit, graph, r)
+        exact = True
+    except RetimingError:
+        chain_inits = None
+        exact = False
+    retimed = apply_retiming(circuit, graph, r, name=name,
+                             chain_inits=chain_inits)
+    return retimed, exact
 
 
 def rebuild_retimed(circuit: Circuit, graph: RetimingGraph, r: np.ndarray,
@@ -150,12 +215,7 @@ def rebuild_retimed(circuit: Circuit, graph: RetimingGraph, r: np.ndarray,
     otherwise registers reset to 0 (functionality after a flush period is
     unaffected -- retiming preserves steady-state behaviour).
     """
-    try:
-        chain_inits = forward_initial_states(circuit, graph, r)
-    except RetimingError:
-        chain_inits = None
-    return apply_retiming(circuit, graph, r, name=name,
-                          chain_inits=chain_inits)
+    return rebuild_retimed_states(circuit, graph, r, name)[0]
 
 
 def table1_row(result: PipelineResult) -> dict[str, object]:

@@ -64,14 +64,22 @@ def result_to_dict(result: PipelineResult,
     return out
 
 
-def save_results(results: Sequence[PipelineResult],
+def save_results(results: Sequence[PipelineResult | Mapping[str, Any]],
                  path: str | os.PathLike[str],
                  include_labels: bool = False) -> None:
-    """Write a list of pipeline results as a JSON report."""
+    """Write a list of pipeline results as a JSON report.
+
+    Accepts live :class:`~repro.pipeline.PipelineResult` objects or
+    already-flattened mappings (e.g. reports resumed from a
+    :class:`~repro.runtime.manifest.RunManifest`, for which the live
+    objects no longer exist); mappings are stored verbatim.
+    """
     payload = {
         "format": "repro-results",
         "version": 1,
-        "results": [result_to_dict(r, include_labels) for r in results],
+        "results": [dict(r) if isinstance(r, Mapping)
+                    else result_to_dict(r, include_labels)
+                    for r in results],
     }
     with open(os.fspath(path), "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

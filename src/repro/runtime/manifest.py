@@ -1,0 +1,170 @@
+"""JSON run manifests: checkpoint after every circuit, resume on restart.
+
+A suite run writes one manifest file.  After each circuit completes (or
+fails and is degraded) the manifest is atomically rewritten, so killing
+the process at any point loses at most the circuit in flight.  Re-running
+with the same configuration resumes: completed circuits are loaded from
+the manifest verbatim -- their stored rows are the exact dictionaries the
+report formatter consumes, so a resumed run reproduces a byte-identical
+final report.
+
+Schema (``format: repro-run-manifest``, version 1)::
+
+    {
+      "format": "repro-run-manifest",
+      "version": 1,
+      "config": { ...suite fingerprint (names, scale, seed, ...)... },
+      "circuits": ["s13207", ...],            // planned order
+      "completed": {
+        "s13207": {
+          "row": { ...Table I row dict... },
+          "report": { ...repro.reporting result dict... } | null,
+          "status": "ok" | "<stage>=<rung>;...",
+          "elapsed": 12.3,
+          "failures": [ { ...FailureRecord... }, ... ]
+        }, ...
+      }
+    }
+
+See ``docs/file_formats.md`` for the full field reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ManifestError
+from .executor import FailureRecord
+
+MANIFEST_FORMAT = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class CircuitRecord:
+    """Everything the manifest keeps for one completed circuit."""
+
+    name: str
+    row: dict[str, Any]
+    report: dict[str, Any] | None
+    status: str = "ok"
+    elapsed: float = 0.0
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "row": self.row, "report": self.report, "status": self.status,
+            "elapsed": float(self.elapsed),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, Any]) -> "CircuitRecord":
+        return cls(name=name, row=dict(data["row"]),
+                   report=data.get("report"),
+                   status=str(data.get("status", "ok")),
+                   elapsed=float(data.get("elapsed", 0.0)),
+                   failures=[FailureRecord.from_dict(f)
+                             for f in data.get("failures", [])])
+
+
+class RunManifest:
+    """In-memory view of one suite run's checkpoint file."""
+
+    def __init__(self, config: dict[str, Any], circuits: list[str]):
+        self.config = dict(config)
+        self.circuits = list(circuits)
+        self.completed: dict[str, CircuitRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Atomically write the manifest (tmp file + rename)."""
+        path = os.fspath(path)
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "config": self.config,
+            "circuits": self.circuits,
+            "completed": {name: rec.to_dict()
+                          for name, rec in self.completed.items()},
+        }
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".manifest-", suffix=".json",
+                                   dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "RunManifest":
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"cannot read run manifest {path!r}: {exc}") \
+                from exc
+        if not isinstance(payload, dict) or \
+                payload.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(f"{path!r} is not a run manifest")
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ManifestError(
+                f"{path!r} has manifest version {payload.get('version')!r}, "
+                f"this build reads version {MANIFEST_VERSION}")
+        manifest = cls(config=dict(payload.get("config", {})),
+                       circuits=list(payload.get("circuits", [])))
+        for name, data in payload.get("completed", {}).items():
+            try:
+                manifest.completed[name] = CircuitRecord.from_dict(name, data)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ManifestError(
+                    f"{path!r}: malformed record for circuit {name!r}: "
+                    f"{exc}") from exc
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def is_complete(self, name: str) -> bool:
+        return name in self.completed
+
+    def record(self, record: CircuitRecord) -> None:
+        self.completed[record.name] = record
+
+    def pending(self) -> list[str]:
+        """Planned circuits not yet completed, in order."""
+        return [n for n in self.circuits if n not in self.completed]
+
+    def check_config(self, config: dict[str, Any]) -> None:
+        """Reject resumption under a different experiment configuration.
+
+        Only keys present in *both* fingerprints are compared, so adding
+        a new knob in a later version does not invalidate old manifests;
+        resilience knobs (deadline, retries) are deliberately excluded
+        from fingerprints by the caller -- they do not change results,
+        only how failures are handled.
+        """
+        mismatched = {key: (self.config[key], config[key])
+                      for key in self.config.keys() & config.keys()
+                      if self.config[key] != config[key]}
+        if mismatched:
+            detail = "; ".join(
+                f"{key}: manifest={old!r}, requested={new!r}"
+                for key, (old, new) in sorted(mismatched.items()))
+            raise ManifestError(
+                f"manifest was written by a different run configuration "
+                f"({detail}); refusing to resume")

@@ -1,0 +1,438 @@
+"""Crash-isolated suite runs: the resilient Table I flow.
+
+:func:`optimize_resilient` is the fault-tolerant twin of
+:func:`repro.pipeline.optimize_circuit`: every expensive stage runs
+through the executor's retry/degradation ladder
+(:mod:`repro.runtime.executor`), so one infeasible circuit, runaway
+solve or simulation hiccup yields a usable, clearly-labeled row instead
+of aborting the experiment:
+
+* observability simulation -- bounded retry with reseeding;
+* Sec. V initialization -- exact (setup+hold) R_min, degrading to the
+  zero-retiming / degenerate-R_min configuration;
+* each solver -- ``minobswin -> minobs -> identity`` (a deadline expiry
+  first recovers the solver's best feasible retiming as a
+  ``:partial`` result before degrading further);
+* rebuild + SER -- guarded by :mod:`repro.runtime.guards`; quarantined
+  (non-equivalent) results degrade like any other failure.
+
+:func:`run_suite` executes a whole benchmark suite circuit-by-circuit
+with per-circuit crash isolation, checkpoints every completed circuit to
+a :class:`~repro.runtime.manifest.RunManifest`, and resumes from a
+partial manifest on restart.  All result-determining quantities are
+deterministic given the config (rows resumed from a manifest are
+byte-identical to freshly computed ones); the wall-clock ``t_ref`` /
+``t_new`` columns are the only nondeterministic fields.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.initialization import InitialRetiming, initialize
+from ..core.minobswin import RetimingResult
+from ..errors import DeadlineExceeded
+from ..graph.retiming_graph import RetimingGraph
+from ..graph.timing import achieved_period
+from ..netlist.circuit import Circuit
+from ..netlist.validate import validate_circuit
+from ..pipeline import (AlgorithmOutcome, PipelineResult, build_problem,
+                        compute_observability, rebuild_retimed_states,
+                        run_solver, table1_row)
+from ..reporting import result_to_dict
+from ..ser.analysis import analyze_ser
+from .executor import Attempt, FailureRecord, run_ladder
+from .guards import verify_retimed
+from .manifest import CircuitRecord, RunManifest
+
+#: Seed stride between observability reseed attempts (any odd prime-ish
+#: constant works; it only needs to decorrelate the pattern streams).
+RESEED_STRIDE = 1009
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Configuration of one resilient suite run.
+
+    The experiment knobs mirror :func:`repro.pipeline.optimize_circuit`;
+    the resilience knobs (``deadline``, ``max_retries``, ``strict``,
+    ``guard``) control failure handling only and therefore do not enter
+    the manifest fingerprint.
+    """
+
+    circuits: tuple[str, ...]
+    scale: float | None = None
+    seed: int = 0
+    n_frames: int = 15
+    n_patterns: int = 256
+    epsilon: float = 0.10
+    algorithms: tuple[str, ...] = ("minobs", "minobswin")
+    maximal_start: bool = False
+    restart: bool = True
+    #: Per-stage wall-clock budget in seconds (None = unlimited).
+    deadline: float | None = None
+    #: Extra attempts per ladder rung for retryable failures.
+    max_retries: int = 1
+    #: Propagate the first failure instead of degrading (debug mode).
+    strict: bool = False
+    #: Run the post-retime verification guard on every solver result.
+    guard: bool = True
+    guard_cycles: int = 8
+    guard_patterns: int = 32
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The result-determining configuration, for manifest matching."""
+        return {
+            "circuits": list(self.circuits),
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_frames": self.n_frames,
+            "n_patterns": self.n_patterns,
+            "epsilon": self.epsilon,
+            "algorithms": list(self.algorithms),
+            "maximal_start": self.maximal_start,
+            "restart": self.restart,
+        }
+
+
+@dataclass
+class AlgorithmRun:
+    """One algorithm's (possibly degraded) outcome on one circuit."""
+
+    outcome: AlgorithmOutcome
+    label: str  # "minobswin", "minobswin:partial", "minobs", "identity"
+    guard: dict[str, Any] | None = None
+
+
+@dataclass
+class CircuitRun:
+    """One circuit's contribution to the suite result."""
+
+    name: str
+    row: dict[str, Any]
+    report: dict[str, Any] | None
+    status: str
+    elapsed: float
+    failures: list[FailureRecord] = field(default_factory=list)
+    result: PipelineResult | None = None
+    resumed: bool = False
+
+    def to_record(self) -> CircuitRecord:
+        return CircuitRecord(name=self.name, row=self.row,
+                             report=self.report, status=self.status,
+                             elapsed=self.elapsed, failures=self.failures)
+
+    @classmethod
+    def from_record(cls, record: CircuitRecord) -> "CircuitRun":
+        return cls(name=record.name, row=record.row, report=record.report,
+                   status=record.status, elapsed=record.elapsed,
+                   failures=record.failures, resumed=True)
+
+
+@dataclass
+class SuiteResult:
+    """Everything a resilient suite run produced."""
+
+    runs: list[CircuitRun]
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        return [run.row for run in self.runs]
+
+    @property
+    def reports(self) -> list[dict[str, Any]]:
+        return [run.report for run in self.runs if run.report is not None]
+
+    @property
+    def failures(self) -> list[FailureRecord]:
+        return [f for run in self.runs for f in run.failures]
+
+    @property
+    def degraded(self) -> list[CircuitRun]:
+        return [run for run in self.runs if run.status != "ok"]
+
+
+def _identity_result(graph: RetimingGraph) -> RetimingResult:
+    return RetimingResult(r=graph.zero_retiming(), objective=0, commits=0,
+                          iterations=0, passes=1, constraints_added=0,
+                          blocked=0, runtime=0.0)
+
+
+def _degenerate_initialize(graph: RetimingGraph, setup: float,
+                           epsilon: float) -> InitialRetiming:
+    """Last-rung initialization: identity start, degenerate R_min.
+
+    The paper's own fallback of Sec. V taken to its floor: keep the
+    circuit as-is, constrain the solve to the relaxed zero-retiming
+    period, and set R_min to the minimal gate delay so P2' cannot bind
+    tighter than a single gate.
+    """
+    r0 = graph.zero_retiming()
+    phi_base = achieved_period(graph, r0, setup)
+    delays = [d for d in graph.delays[1:] if d > 0]
+    rmin = min(delays) if delays else 0.0
+    return InitialRetiming(r0=r0, phi=phi_base * (1.0 + epsilon), rmin=rmin,
+                           phi_base=phi_base, used_fallback=True)
+
+
+def _failed_row(name: str, stage: str,
+                graph: RetimingGraph | None) -> dict[str, Any]:
+    """A clearly-labeled placeholder row for an unrecoverable circuit."""
+    nan = float("nan")
+    row: dict[str, Any] = {
+        "circuit": name,
+        "V": graph.n_vertices - 1 if graph is not None else 0,
+        "E": graph.n_edges if graph is not None else 0,
+        "FF": graph.register_count() if graph is not None else 0,
+        "phi": nan, "ser": nan,
+        "ref_ff": 0, "ref_time": 0.0, "ref_ser": nan,
+        "new_ff": 0, "new_time": 0.0, "new_J": 0, "new_ser": nan,
+        "status": f"failed:{stage}",
+    }
+    return row
+
+
+def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
+    """Run the Table I flow on one circuit, degrading instead of dying.
+
+    Never raises in the default mode (``strict=False``) short of
+    ``KeyboardInterrupt`` / ``SystemExit``; the returned row is always
+    consumable by :func:`repro.ser.report.format_comparison`, with the
+    degradations applied spelled out in ``row["status"]`` and every
+    captured failure in ``CircuitRun.failures``.
+    """
+    t0 = time.perf_counter()
+    failures: list[FailureRecord] = []
+    degradations: list[str] = []
+    name = circuit.name
+
+    def ladder(stage, rungs):
+        return run_ladder(stage, rungs, circuit=name,
+                          max_retries=config.max_retries,
+                          deadline=config.deadline, strict=config.strict,
+                          failures=failures)
+
+    # ---- stage 1: graph construction (no meaningful degradation) -----
+    graph: RetimingGraph | None = None
+    try:
+        validate_circuit(circuit)
+        graph = RetimingGraph.from_circuit(circuit)
+    except Exception as exc:
+        if config.strict:
+            raise
+        failures.append(FailureRecord(
+            circuit=name, stage="prepare", rung="graph",
+            error=type(exc).__name__, message=str(exc),
+            elapsed=time.perf_counter() - t0, attempt=0, action="gave-up"))
+        return CircuitRun(name=name, row=_failed_row(name, "prepare", None),
+                          report=None, status="failed:prepare",
+                          elapsed=time.perf_counter() - t0,
+                          failures=failures)
+
+    setup = circuit.library.setup_time
+    hold = circuit.library.hold_time
+
+    def run_stages() -> CircuitRun:
+        # ---- stage 2: observability (retry-with-reseed) --------------
+        def sim_obs(ctx: Attempt):
+            return compute_observability(
+                circuit, n_frames=config.n_frames,
+                n_patterns=config.n_patterns,
+                seed=config.seed + RESEED_STRIDE * ctx.attempt)
+
+        obs_stage = ladder("observability", [("signature-sim", sim_obs)])
+        obs, obs_runtime = obs_stage.value
+        if obs_stage.attempts > 1:
+            degradations.append(f"obs=attempt{obs_stage.attempts}")
+
+        # ---- stage 3: initialization ---------------------------------
+        init_stage = ladder("initialize", [
+            ("setup-hold", lambda ctx: initialize(
+                graph, setup, hold, config.epsilon,
+                maximal_start=config.maximal_start)),
+            ("degenerate", lambda ctx: _degenerate_initialize(
+                graph, setup, config.epsilon)),
+        ])
+        init = init_stage.value
+        if init_stage.degraded:
+            degradations.append("init=degenerate")
+
+        # ---- original-circuit SER (reference for every outcome) ------
+        ser_stage = ladder("ser-original", [
+            ("analyze", lambda ctx: analyze_ser(circuit, init.phi, setup,
+                                                hold, obs=obs))])
+        ser_original = ser_stage.value
+
+        problem = build_problem(graph, init, obs, config.n_patterns,
+                                setup, hold)
+        original_registers = graph.register_count()
+
+        def make_rung(solver: str, algorithm: str):
+            def attempt(ctx: Attempt) -> AlgorithmRun:
+                if solver == "identity":
+                    outcome = AlgorithmOutcome(
+                        result=_identity_result(graph), circuit=circuit,
+                        ser=ser_original, registers=original_registers)
+                    return AlgorithmRun(outcome=outcome, label="identity")
+                label = solver
+                try:
+                    solved = run_solver(problem, init.r0, solver,
+                                        restart=config.restart,
+                                        deadline=ctx.deadline.remaining())
+                except DeadlineExceeded as exc:
+                    if exc.partial is None:
+                        raise
+                    ctx.record(exc, "partial-result")
+                    solved = exc.partial
+                    label = f"{solver}:partial"
+                retimed, exact = rebuild_retimed_states(
+                    circuit, graph, solved.r,
+                    name=f"{name}_{algorithm}")
+                guard_dict = None
+                if config.guard and solved.r.any():
+                    guard = verify_retimed(
+                        circuit, retimed, graph, solved.r, init.phi,
+                        setup, exact_states=exact,
+                        check_cycles=config.guard_cycles,
+                        n_patterns=config.guard_patterns,
+                        seed=config.seed)
+                    guard_dict = guard.to_dict()
+                    guard.raise_if_failed(f"{name}/{label}")
+                ser = analyze_ser(retimed, init.phi, setup, hold, obs=obs)
+                outcome = AlgorithmOutcome(result=solved, circuit=retimed,
+                                           ser=ser,
+                                           registers=retimed.n_dffs)
+                return AlgorithmRun(outcome=outcome, label=label,
+                                    guard=guard_dict)
+            return attempt
+
+        result = PipelineResult(
+            name=name, vertices=graph.n_vertices - 1, edges=graph.n_edges,
+            registers=original_registers, init=init,
+            ser_original=ser_original, obs=obs, obs_runtime=obs_runtime)
+
+        guards: dict[str, Any] = {}
+        for algorithm in config.algorithms:
+            chain = ["minobswin", "minobs", "identity"] \
+                if algorithm == "minobswin" else ["minobs", "identity"]
+            rungs = [(solver, make_rung(solver, algorithm))
+                     for solver in chain]
+            stage = ladder(f"solve:{algorithm}", rungs)
+            run: AlgorithmRun = stage.value
+            result.outcomes[algorithm] = run.outcome
+            if run.guard is not None:
+                guards[algorithm] = run.guard
+            if run.label != algorithm:
+                degradations.append(f"{algorithm}={run.label}")
+
+        status = "ok" if not degradations else ";".join(degradations)
+        row = table1_row(result)
+        row["status"] = status
+        report = result_to_dict(result)
+        report["status"] = status
+        report["degradations"] = list(degradations)
+        report["failures"] = [f.to_dict() for f in failures]
+        if guards:
+            report["guards"] = guards
+        return CircuitRun(name=name, row=row, report=report, status=status,
+                          elapsed=time.perf_counter() - t0,
+                          failures=failures, result=result)
+
+    try:
+        return run_stages()
+    except Exception as exc:
+        if config.strict:
+            raise
+        stage = getattr(exc, "stage", None) or "pipeline"
+        failures.append(FailureRecord(
+            circuit=name, stage=str(stage), rung="",
+            error=type(exc).__name__, message=str(exc),
+            elapsed=time.perf_counter() - t0, attempt=0, action="gave-up"))
+        return CircuitRun(name=name, row=_failed_row(name, str(stage), graph),
+                          report=None, status=f"failed:{stage}",
+                          elapsed=time.perf_counter() - t0,
+                          failures=failures)
+
+
+def run_suite(config: SuiteConfig,
+              manifest_path: str | None = None,
+              progress: Callable[[str], None] | None = None,
+              circuit_factory: Callable[[str], Circuit] | None = None,
+              ) -> SuiteResult:
+    """Run a benchmark suite with crash isolation and checkpointing.
+
+    Parameters
+    ----------
+    config:
+        The suite configuration (circuit names, experiment knobs,
+        resilience knobs).
+    manifest_path:
+        Checkpoint file.  When it already exists, the run *resumes*:
+        the stored configuration fingerprint must match
+        (:class:`~repro.errors.ManifestError` otherwise), completed
+        circuits are loaded verbatim and skipped, and each newly
+        finished circuit is checkpointed with an atomic rewrite.  When
+        it does not exist it is created.  ``None`` disables
+        checkpointing.
+    progress:
+        Optional callback receiving one human-readable line per circuit.
+    circuit_factory:
+        Maps a circuit name to a :class:`Circuit`; defaults to the
+        Table I suite generator at ``config.scale`` / ``config.seed``.
+        A factory exception is handled like any other circuit failure.
+    """
+    if circuit_factory is None:
+        from ..circuits.suites import table1_circuit
+
+        def circuit_factory(row_name: str) -> Circuit:
+            return table1_circuit(row_name, scale=config.scale,
+                                  seed=config.seed)
+
+    manifest: RunManifest | None = None
+    if manifest_path is not None:
+        import os
+
+        if os.path.exists(manifest_path):
+            manifest = RunManifest.load(manifest_path)
+            manifest.check_config(config.fingerprint())
+        else:
+            manifest = RunManifest(config=config.fingerprint(),
+                                   circuits=list(config.circuits))
+            manifest.save(manifest_path)
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    runs: list[CircuitRun] = []
+    for name in config.circuits:
+        if manifest is not None and manifest.is_complete(name):
+            run = CircuitRun.from_record(manifest.completed[name])
+            runs.append(run)
+            note(f"{name}: resumed from manifest ({run.status})")
+            continue
+        t0 = time.perf_counter()
+        try:
+            circuit = circuit_factory(name)
+            run = optimize_resilient(circuit, config)
+        except Exception as exc:  # crash isolation around the whole flow
+            if config.strict:
+                raise
+            run = CircuitRun(
+                name=name, row=_failed_row(name, "circuit", None),
+                report=None, status="failed:circuit",
+                elapsed=time.perf_counter() - t0,
+                failures=[FailureRecord(
+                    circuit=name, stage="circuit", rung="",
+                    error=type(exc).__name__, message=str(exc),
+                    elapsed=time.perf_counter() - t0, attempt=0,
+                    action="gave-up")])
+        runs.append(run)
+        if manifest is not None:
+            manifest.record(run.to_record())
+            manifest.save(manifest_path)
+        note(f"{name}: {run.status} ({run.elapsed:.2f}s)")
+    return SuiteResult(runs=runs)

@@ -37,18 +37,29 @@ def format_comparison(rows: Sequence[Mapping[str, object]]) -> str:
     ``phi``, ``ser`` and per-algorithm entries ``<alg>_ff`` (register
     count after retiming), ``<alg>_time``, ``<alg>_ser`` for ``ref``
     (MinObs) and ``new`` (MinObsWin), plus ``new_J``.
+
+    Rows produced by the resilient runtime may additionally carry a
+    ``status`` key; any row whose status is not ``"ok"`` (a degraded or
+    failed circuit) is marked with ``*`` and its status spelled out in a
+    footnote below the table.
     """
     headers = ["Circuit", "|V|", "|E|", "#FF", "Phi", "SER",
                "dFF_ref", "t_ref", "dSER_ref",
                "dFF_new", "t_new", "#J", "dSER_new", "ref/new"]
     body = []
+    flagged: list[tuple[str, str]] = []
     for row in rows:
         ser = float(row["ser"])
         ser_ref = float(row["ref_ser"])
         ser_new = float(row["new_ser"])
         ratio = ser_ref / ser_new if ser_new else float("inf")
+        name = str(row["circuit"])
+        status = str(row.get("status", "ok"))
+        if status != "ok":
+            flagged.append((name, status))
+            name += "*"
         body.append([
-            row["circuit"], row["V"], row["E"], row["FF"],
+            name, row["V"], row["E"], row["FF"],
             f"{float(row['phi']):.0f}", f"{ser:.2e}",
             f"{percent(float(row['ref_ff']), float(row['FF'])):+.1f}%",
             f"{float(row['ref_time']):.2f}",
@@ -59,4 +70,8 @@ def format_comparison(rows: Sequence[Mapping[str, object]]) -> str:
             f"{percent(ser_new, ser):+.1f}%",
             f"{100.0 * ratio:.0f}%",
         ])
-    return format_table(headers, body, align="l" + "r" * 13)
+    table = format_table(headers, body, align="l" + "r" * 13)
+    if flagged:
+        notes = "\n".join(f"* {name}: {status}" for name, status in flagged)
+        table = f"{table}\n{notes}"
+    return table

@@ -1,0 +1,86 @@
+"""Cooperative cancellation of the solvers (deadline / should_stop)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.core.minobs import minobs_retiming
+from repro.core.minobswin import minobswin_retiming
+from repro.errors import DeadlineExceeded
+from repro.pipeline import (build_problem, compute_observability)
+from repro.core.initialization import initialize
+from repro.graph.retiming_graph import RetimingGraph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    circuit = random_sequential_circuit(
+        "cancel", n_gates=120, n_dffs=36, n_inputs=8, n_outputs=8, seed=4)
+    graph = RetimingGraph.from_circuit(circuit)
+    setup = circuit.library.setup_time
+    hold = circuit.library.hold_time
+    obs, _ = compute_observability(circuit, n_frames=3, n_patterns=32,
+                                   seed=0)
+    init = initialize(graph, setup, hold, 0.10)
+    problem = build_problem(graph, init, obs, 32, setup, hold)
+    return problem, init.r0
+
+
+@pytest.mark.parametrize("solver", [minobswin_retiming, minobs_retiming])
+class TestDeadline:
+    def test_expired_deadline_raises_with_partial(self, instance, solver):
+        problem, r0 = instance
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            solver(problem, r0, deadline=0.0)
+        exc = excinfo.value
+        assert exc.best_r is not None
+        assert exc.partial is not None
+        assert np.array_equal(exc.partial.r, exc.best_r)
+        # best-so-far must be feasible: the solver only commits
+        # feasibility-preserving moves
+        assert problem.graph.is_valid_retiming(exc.best_r)
+        assert exc.elapsed is not None and exc.elapsed >= 0.0
+        assert exc.partial.runtime == pytest.approx(exc.elapsed)
+
+    def test_should_stop_cancels(self, instance, solver):
+        problem, r0 = instance
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            solver(problem, r0, should_stop=lambda: True)
+        assert excinfo.value.partial is not None
+
+    def test_no_deadline_solves_to_completion(self, instance, solver):
+        problem, r0 = instance
+        result = solver(problem, r0)
+        assert problem.graph.is_valid_retiming(result.r)
+        # the same call under a generous budget is unaffected
+        relaxed = solver(problem, r0, deadline=3600.0)
+        assert np.array_equal(relaxed.r, result.r)
+        assert relaxed.objective == result.objective
+
+    def test_stage_names_distinguish_solvers(self, instance, solver):
+        problem, r0 = instance
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            solver(problem, r0, deadline=0.0)
+        expected = "minobs" if solver is minobs_retiming else "minobswin"
+        assert excinfo.value.stage == expected
+
+
+def test_late_should_stop_keeps_progress(instance):
+    """Cancelling after N iterations returns at least those commits."""
+    problem, r0 = instance
+    full = minobswin_retiming(problem, r0)
+    if full.iterations < 2:
+        pytest.skip("instance converges too fast to cancel mid-way")
+    calls = [0]
+
+    def stop_after_a_few():
+        calls[0] += 1
+        return calls[0] > 2
+
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        minobswin_retiming(problem, r0, should_stop=stop_after_a_few)
+    partial = excinfo.value.partial
+    assert partial.iterations <= full.iterations
+    assert problem.graph.is_valid_retiming(partial.r)
+    # the interim gain can never beat the converged one
+    assert partial.objective <= full.objective

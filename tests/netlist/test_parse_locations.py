@@ -1,0 +1,161 @@
+"""Every parse failure must carry its file path and 1-based line.
+
+Satellite audit of the .bench and BLIF readers: a malformed netlist
+should never surface a bare :class:`~repro.errors.NetlistError` without
+a location -- tools point users at ``file:line``.
+"""
+
+import pytest
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist import (load_bench, load_blif, loads_bench, loads_blif)
+
+
+def parse_error(call):
+    with pytest.raises(ParseError) as excinfo:
+        call()
+    return excinfo.value
+
+
+def assert_located(exc: ParseError, line: int, path: str | None = None):
+    assert exc.line == line, f"wrong line in: {exc}"
+    assert exc.path == path
+    if path is not None:
+        assert f"{path}:{line}:" in str(exc)
+    else:
+        assert f"{line}:" in str(exc)
+
+
+class TestBenchLocations:
+    def test_garbage_line(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\ngarbage line\n"))
+        assert_located(exc, 2)
+
+    def test_missing_paren(self):
+        exc = parse_error(lambda: loads_bench("INPUT(a\n"))
+        assert_located(exc, 1)
+
+    def test_unknown_operator(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"))
+        assert_located(exc, 3)
+        assert "FROB" in str(exc)
+
+    def test_dff_arity(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n"))
+        assert_located(exc, 3)
+
+    def test_duplicate_input(self):
+        exc = parse_error(lambda: loads_bench("INPUT(a)\nINPUT(a)\n"))
+        assert_located(exc, 2)
+
+    def test_duplicate_gate(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\ny = NOT(a)\ny = BUF(a)\n"))
+        assert_located(exc, 3)
+
+    def test_undefined_gate_input_points_at_gate(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"))
+        assert_located(exc, 3)
+        assert "ghost" in str(exc)
+
+    def test_undefined_dff_input_points_at_dff(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n"))
+        assert_located(exc, 3)
+
+    def test_undefined_output_points_at_declaration(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nOUTPUT(ghost)\nu = NOT(a)\n"))
+        assert_located(exc, 2)
+
+    def test_combinational_cycle_points_at_first_cycle_gate(self):
+        exc = parse_error(lambda: loads_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n"))
+        assert exc.line == 3  # first declaration on the cycle
+        assert "cycle" in str(exc).lower()
+
+    def test_file_path_in_message(self, tmp_path):
+        bad = tmp_path / "broken.bench"
+        bad.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        exc = parse_error(lambda: load_bench(bad))
+        assert_located(exc, 3, path=str(bad))
+
+
+class TestBlifLocations:
+    HEADER = ".model t\n.inputs a b\n.outputs y\n"
+
+    def test_statement_before_model(self):
+        exc = parse_error(lambda: loads_blif(".inputs a\n"))
+        assert_located(exc, 1)
+
+    def test_unsupported_construct(self):
+        exc = parse_error(lambda: loads_blif(
+            self.HEADER + ".exdc\n"))
+        assert_located(exc, 4)
+
+    def test_bad_cover_row(self):
+        exc = parse_error(lambda: loads_blif(
+            self.HEADER + ".names a b y\n11 2\n"))
+        assert_located(exc, 4)  # reported at the .names statement
+
+    def test_unmatchable_cover(self):
+        exc = parse_error(lambda: loads_blif(
+            self.HEADER + ".names a b y\n10 1\n01 0\n"))
+        assert_located(exc, 4)
+
+    def test_latch_missing_operand(self):
+        exc = parse_error(lambda: loads_blif(
+            self.HEADER + ".latch q\n"))
+        assert_located(exc, 4)
+
+    def test_duplicate_input(self):
+        exc = parse_error(lambda: loads_blif(
+            ".model t\n.inputs a\n.inputs a\n"))
+        assert_located(exc, 3)
+
+    def test_duplicate_latch(self):
+        exc = parse_error(lambda: loads_blif(
+            ".model t\n.inputs a\n.latch a q\n.latch a q\n"))
+        assert_located(exc, 4)
+
+    def test_undefined_gate_input_points_at_names(self):
+        exc = parse_error(lambda: loads_blif(
+            ".model t\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n"))
+        assert_located(exc, 4)
+        assert "ghost" in str(exc)
+
+    def test_undefined_output_points_at_outputs(self):
+        exc = parse_error(lambda: loads_blif(
+            ".model t\n.inputs a\n.outputs ghost\n.names a u\n1 1\n"))
+        assert_located(exc, 3)
+
+    def test_combinational_cycle_located(self):
+        exc = parse_error(lambda: loads_blif(
+            ".model t\n.inputs a\n.outputs y\n"
+            ".names a z y\n11 1\n.names y z\n1 1\n"))
+        assert exc.line == 4
+        assert "cycle" in str(exc).lower()
+
+    def test_file_path_in_message(self, tmp_path):
+        bad = tmp_path / "broken.blif"
+        bad.write_text(".model t\n.inputs a\n.outputs y\n"
+                       ".names a ghost y\n11 1\n")
+        exc = parse_error(lambda: load_blif(bad))
+        assert_located(exc, 4, path=str(bad))
+
+
+class TestBackwardCompatibility:
+    def test_parse_errors_are_netlist_errors(self):
+        """Callers catching NetlistError keep working."""
+        with pytest.raises(NetlistError):
+            loads_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_valid_files_still_parse(self, tmp_path):
+        src = ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+               "s = DFF(g)\ng = NAND(a, s)\ny = AND(g, b)\n")
+        circuit = loads_bench(src, "ok")
+        assert circuit.n_dffs == 1 and circuit.n_gates == 2

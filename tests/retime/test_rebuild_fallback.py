@@ -1,0 +1,101 @@
+"""Fallback behaviour of the retimed-netlist rebuild.
+
+When :func:`repro.retime.verify.forward_initial_states` cannot compute
+exact initial states (it raises :class:`~repro.errors.RetimingError`),
+:func:`repro.pipeline.rebuild_retimed_states` must still produce the
+retimed netlist, with every relocated register reset to 0 and the
+``exact_states`` flag cleared -- the circuit is then equivalent to the
+original only after a flush period, which is exactly what the
+verification guard's flush window checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import pipeline
+from repro.circuits import random_sequential_circuit
+from repro.errors import RetimingError
+from repro.graph.retiming_graph import RetimingGraph
+from repro.pipeline import (optimize_circuit, rebuild_retimed,
+                            rebuild_retimed_states)
+from repro.runtime.guards import verify_retimed
+
+
+@pytest.fixture
+def circuit():
+    return random_sequential_circuit(
+        "fallback", n_gates=50, n_dffs=16, n_inputs=5, n_outputs=5,
+        seed=9)
+
+
+@pytest.fixture
+def solved(circuit):
+    result = optimize_circuit(circuit, algorithms=("minobs",),
+                              n_frames=3, n_patterns=32, seed=0)
+    graph = RetimingGraph.from_circuit(circuit)
+    return graph, result.outcomes["minobs"].result.r
+
+
+class TestExactPath:
+    def test_forwardable_retiming_is_exact(self, circuit, solved):
+        graph, r = solved
+        retimed, exact = rebuild_retimed_states(circuit, graph, r)
+        assert exact  # both solvers only move registers forward
+        assert retimed.n_dffs == graph.register_count(r)
+
+    def test_rebuild_retimed_returns_circuit_only(self, circuit, solved):
+        graph, r = solved
+        assert rebuild_retimed(circuit, graph, r).n_dffs == \
+            rebuild_retimed_states(circuit, graph, r)[0].n_dffs
+
+
+class TestFallbackPath:
+    def test_forwarding_failure_resets_registers(self, circuit, solved,
+                                                 monkeypatch):
+        graph, r = solved
+
+        def refuse(circuit_, graph_, r_):
+            raise RetimingError("synthetic forwarding failure")
+
+        monkeypatch.setattr(pipeline, "forward_initial_states", refuse)
+        retimed, exact = rebuild_retimed_states(circuit, graph, r)
+        assert not exact
+        assert retimed.n_dffs == graph.register_count(r)
+        assert all(dff.init == 0 for dff in retimed.dffs.values())
+
+    def test_fallback_is_equivalent_after_flush(self, circuit, solved,
+                                                monkeypatch):
+        graph, r = solved
+        monkeypatch.setattr(
+            pipeline, "forward_initial_states",
+            lambda *a: (_ for _ in ()).throw(RetimingError("nope")))
+        retimed, exact = rebuild_retimed_states(circuit, graph, r)
+        assert not exact
+        report = verify_retimed(circuit, retimed, graph, r, phi=1e9,
+                                exact_states=False, check_cycles=8,
+                                n_patterns=64, seed=1)
+        assert report.flush_cycles > 0
+        assert report.checks["sequential"], report.notes
+
+    def test_genuine_backward_move_falls_back(self, circuit):
+        """A backward retiming has no forward state computation."""
+        graph = RetimingGraph.from_circuit(circuit)
+        r = None
+        for v in range(1, graph.n_vertices):
+            candidate = graph.zero_retiming()
+            candidate[v] = 1
+            if graph.is_valid_retiming(candidate):
+                r = candidate
+                break
+        if r is None:
+            pytest.skip("no single-vertex backward move is valid here")
+        from repro.retime.verify import forward_initial_states
+
+        with pytest.raises(RetimingError, match="backward"):
+            forward_initial_states(circuit, graph, r)
+        retimed, exact = rebuild_retimed_states(circuit, graph, r)
+        assert not exact
+        assert retimed.n_dffs == graph.register_count(r)
+        report = verify_retimed(circuit, retimed, graph, r, phi=1e9,
+                                exact_states=False, n_patterns=64, seed=2)
+        assert report.checks["sequential"], report.notes

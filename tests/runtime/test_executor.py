@@ -1,0 +1,209 @@
+"""Tests for the retry/degradation ladder executor."""
+
+import pytest
+
+from repro.errors import (DeadlineExceeded, ExecutionError,
+                          VerificationError)
+from repro.runtime.executor import (NON_RETRYABLE, Attempt, FailureRecord,
+                                    Rung, run_ladder)
+
+
+def failing(exc_factory):
+    def rung(ctx):
+        raise exc_factory()
+    return rung
+
+
+class TestHappyPath:
+    def test_first_rung_success(self):
+        out = run_ladder("s", [("a", lambda ctx: 42)])
+        assert out.value == 42
+        assert out.rung == "a"
+        assert not out.degraded
+        assert out.attempts == 1
+        assert out.failures == []
+
+    def test_rung_objects_accepted(self):
+        out = run_ladder("s", [Rung("a", lambda ctx: "v")])
+        assert out.value == "v"
+
+    def test_attempt_context_fields(self):
+        seen = {}
+
+        def rung(ctx: Attempt):
+            seen["attempt"] = ctx.attempt
+            seen["stage"] = ctx.stage
+            seen["rung"] = ctx.rung
+            seen["circuit"] = ctx.circuit
+            return 1
+
+        run_ladder("mystage", [("myrung", rung)], circuit="c17")
+        assert seen == {"attempt": 0, "stage": "mystage",
+                        "rung": "myrung", "circuit": "c17"}
+
+
+class TestRetry:
+    def test_retry_then_success_increments_attempt(self):
+        attempts = []
+
+        def flaky(ctx: Attempt):
+            attempts.append(ctx.attempt)
+            if ctx.attempt < 2:
+                raise RuntimeError("transient")
+            return "ok"
+
+        out = run_ladder("s", [("flaky", flaky)], max_retries=2)
+        assert out.value == "ok"
+        assert attempts == [0, 1, 2]
+        assert not out.degraded  # same rung succeeded
+        assert [f.action for f in out.failures] == ["retry", "retry"]
+
+    def test_retries_exhausted_then_degrade(self):
+        out = run_ladder("s", [
+            ("top", failing(lambda: RuntimeError("boom"))),
+            ("fallback", lambda ctx: "fb"),
+        ], max_retries=1)
+        assert out.value == "fb"
+        assert out.rung == "fallback"
+        assert out.degraded
+        assert [f.action for f in out.failures] == ["retry", "degrade"]
+
+    def test_zero_retries(self):
+        calls = []
+        out = run_ladder("s", [
+            ("top", lambda ctx: calls.append(1) or (_ for _ in ()).throw(
+                RuntimeError("x"))),
+            ("fb", lambda ctx: "fb"),
+        ], max_retries=0)
+        assert out.value == "fb"
+        assert len(calls) == 1
+
+
+class TestNonRetryable:
+    @pytest.mark.parametrize("exc_factory", [
+        lambda: DeadlineExceeded("late", stage="s"),
+        lambda: VerificationError("bad"),
+    ])
+    def test_skips_retries_and_degrades(self, exc_factory):
+        calls = []
+
+        def rung(ctx):
+            calls.append(ctx.attempt)
+            raise exc_factory()
+
+        out = run_ladder("s", [("top", rung), ("fb", lambda ctx: "fb")],
+                         max_retries=5)
+        assert out.value == "fb"
+        assert calls == [0]  # no retry burned
+        assert out.failures[0].action == "degrade"
+
+    def test_non_retryable_tuple_contents(self):
+        assert DeadlineExceeded in NON_RETRYABLE
+        assert VerificationError in NON_RETRYABLE
+
+
+class TestExhaustion:
+    def test_all_rungs_fail_raises_execution_error(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            run_ladder("s", [
+                ("a", failing(lambda: RuntimeError("first"))),
+                ("b", failing(lambda: ValueError("last"))),
+            ], max_retries=0)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "a, b" in str(excinfo.value)
+
+    def test_last_failure_is_gave_up(self):
+        failures = []
+        with pytest.raises(ExecutionError):
+            run_ladder("s", [("only", failing(lambda: RuntimeError("x")))],
+                       max_retries=0, failures=failures)
+        assert [f.action for f in failures] == ["gave-up"]
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ExecutionError):
+            run_ladder("s", [])
+
+
+class TestStrict:
+    def test_strict_propagates_first_failure(self):
+        failures = []
+        with pytest.raises(RuntimeError, match="boom"):
+            run_ladder("s", [
+                ("top", failing(lambda: RuntimeError("boom"))),
+                ("fb", lambda ctx: "never"),
+            ], strict=True, max_retries=3, failures=failures)
+        # nothing recorded beyond what had accumulated before the raise
+        assert all(f.action != "degrade" for f in failures)
+
+    def test_keyboard_interrupt_always_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_ladder("s", [
+                ("top", failing(KeyboardInterrupt)),
+                ("fb", lambda ctx: "never"),
+            ])
+
+
+class TestFailureRecords:
+    def test_records_carry_identification(self):
+        failures = []
+        run_ladder("solve:minobswin", [
+            ("minobswin", failing(lambda: RuntimeError("oops"))),
+            ("identity", lambda ctx: 0),
+        ], circuit="s13207", max_retries=0, failures=failures)
+        rec = failures[0]
+        assert rec.circuit == "s13207"
+        assert rec.stage == "solve:minobswin"
+        assert rec.rung == "minobswin"
+        assert rec.error == "RuntimeError"
+        assert rec.message == "oops"
+        assert rec.attempt == 0
+
+    def test_message_truncated(self):
+        rec = FailureRecord(circuit="", stage="s", rung="r",
+                            error="E", message="x" * 1000,
+                            elapsed=0.0, attempt=0, action="retry")
+        assert len(rec.message) == FailureRecord.MAX_MESSAGE + 3
+        assert rec.message.endswith("...")
+
+    def test_dict_roundtrip(self):
+        rec = FailureRecord(circuit="c", stage="s", rung="r", error="E",
+                            message="m", elapsed=1.5, attempt=2,
+                            action="degrade")
+        assert FailureRecord.from_dict(rec.to_dict()) == rec
+
+    def test_partial_result_marks_degraded(self):
+        def rung(ctx: Attempt):
+            ctx.record(DeadlineExceeded("late", stage="s"),
+                       "partial-result")
+            return "best-so-far"
+
+        out = run_ladder("s", [("solver", rung)])
+        assert out.value == "best-so-far"
+        assert out.degraded  # recovered-partial counts as degraded
+        assert out.failures[0].action == "partial-result"
+
+
+class TestDeadlinePlumb:
+    def test_attempt_deadline_has_budget(self):
+        seen = {}
+
+        def rung(ctx: Attempt):
+            seen["budget"] = ctx.deadline.budget
+            return 1
+
+        run_ladder("s", [("r", rung)], deadline=2.5)
+        assert seen["budget"] == 2.5
+
+    def test_completed_over_deadline_recorded(self):
+        failures = []
+
+        def slow(ctx: Attempt):
+            # simulate a non-cooperative stage running past the budget
+            ctx.deadline.started -= 1.0
+            return "late-but-done"
+
+        out = run_ladder("s", [("slow", slow)], deadline=0.5,
+                         failures=failures)
+        assert out.value == "late-but-done"
+        assert [f.action for f in failures] == ["completed-over-deadline"]
+        assert not out.degraded

@@ -1,0 +1,124 @@
+"""Tests for the JSON run manifest (checkpoint/resume persistence)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.runtime.executor import FailureRecord
+from repro.runtime.manifest import (MANIFEST_FORMAT, MANIFEST_VERSION,
+                                    CircuitRecord, RunManifest)
+
+
+@pytest.fixture
+def record():
+    return CircuitRecord(
+        name="s13207",
+        row={"circuit": "s13207", "FF": 23, "ser": 1.5e-6},
+        report={"circuit": "s13207", "algorithms": {}},
+        status="ok", elapsed=1.25,
+        failures=[FailureRecord(circuit="s13207", stage="observability",
+                                rung="signature-sim", error="RuntimeError",
+                                message="x", elapsed=0.1, attempt=0,
+                                action="retry")])
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_everything(self, tmp_path, record):
+        path = tmp_path / "m.json"
+        manifest = RunManifest(config={"seed": 0, "scale": 0.02},
+                               circuits=["s13207", "s15850.1"])
+        manifest.record(record)
+        manifest.save(path)
+
+        loaded = RunManifest.load(path)
+        assert loaded.config == {"seed": 0, "scale": 0.02}
+        assert loaded.circuits == ["s13207", "s15850.1"]
+        assert loaded.is_complete("s13207")
+        assert not loaded.is_complete("s15850.1")
+        got = loaded.completed["s13207"]
+        assert got.row == record.row
+        assert got.report == record.report
+        assert got.status == "ok"
+        assert got.elapsed == 1.25
+        assert got.failures == record.failures
+
+    def test_pending_preserves_order(self, tmp_path, record):
+        manifest = RunManifest(config={}, circuits=["a", "s13207", "z"])
+        assert manifest.pending() == ["a", "s13207", "z"]
+        manifest.record(record)
+        assert manifest.pending() == ["a", "z"]
+
+    def test_save_is_valid_tagged_json(self, tmp_path, record):
+        path = tmp_path / "m.json"
+        manifest = RunManifest(config={}, circuits=["s13207"])
+        manifest.record(record)
+        manifest.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == MANIFEST_FORMAT
+        assert payload["version"] == MANIFEST_VERSION
+        assert "s13207" in payload["completed"]
+
+    def test_save_leaves_no_temp_files(self, tmp_path, record):
+        path = tmp_path / "m.json"
+        manifest = RunManifest(config={}, circuits=["s13207"])
+        manifest.save(path)
+        manifest.record(record)
+        manifest.save(path)
+        assert os.listdir(tmp_path) == ["m.json"]
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            RunManifest.load(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(ManifestError, match="cannot read"):
+            RunManifest.load(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ManifestError, match="not a run manifest"):
+            RunManifest.load(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"format": MANIFEST_FORMAT,
+                                    "version": 99}))
+        with pytest.raises(ManifestError, match="version"):
+            RunManifest.load(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "rec.json"
+        path.write_text(json.dumps({
+            "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
+            "config": {}, "circuits": ["x"],
+            "completed": {"x": {"status": "ok"}},  # row missing
+        }))
+        with pytest.raises(ManifestError, match="malformed record"):
+            RunManifest.load(path)
+
+
+class TestConfigCheck:
+    def test_matching_config_accepted(self):
+        manifest = RunManifest(config={"seed": 0, "scale": 0.02},
+                               circuits=[])
+        manifest.check_config({"seed": 0, "scale": 0.02})
+
+    def test_mismatch_rejected_with_detail(self):
+        manifest = RunManifest(config={"seed": 0, "scale": 0.02},
+                               circuits=[])
+        with pytest.raises(ManifestError) as excinfo:
+            manifest.check_config({"seed": 7, "scale": 0.02})
+        assert "seed" in str(excinfo.value)
+        assert "refusing to resume" in str(excinfo.value)
+
+    def test_unknown_keys_ignored(self):
+        # forward/backward compatibility: only shared keys compared
+        manifest = RunManifest(config={"seed": 0}, circuits=[])
+        manifest.check_config({"seed": 0, "new_knob": True})
