@@ -12,6 +12,14 @@ Subcommands
     Regenerate the whole Table I on the synthetic suite.
 ``generate``
     Emit a synthetic benchmark circuit to a file.
+``chaos``
+    Run the suite under deterministic fault injection and print a
+    recovery scorecard (see :mod:`repro.faultplane`).
+
+Every command honours the ``REPRO_FAULT_PLAN`` environment variable
+(inline fault-plan JSON or a path): when set, the named injection sites
+are armed before the command runs -- this is how the chaos harness
+breaks child processes.
 """
 
 from __future__ import annotations
@@ -166,6 +174,58 @@ def _print_table1_averages(rows) -> None:
           f"dFF_new {mean(dff_new):+.1f}%")
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .circuits.suites import TABLE1_ROWS
+    from .faultplane.chaos import (build_plan, format_scorecard, run_chaos,
+                                   run_kill_chaos)
+    from .runtime.suite import SuiteConfig
+
+    names = args.circuits or [row.name for row in TABLE1_ROWS[:5]]
+    config = SuiteConfig(
+        circuits=tuple(names), scale=args.scale,
+        seed=args.experiment_seed, n_frames=args.frames,
+        n_patterns=args.patterns, deadline=args.deadline,
+        max_retries=args.max_retries)
+    # Kill mode arms only kill faults by default: a deterministic
+    # always-firing fault would make every restart fail identically.
+    kinds = args.kinds
+    if args.kill_prob > 0 and kinds is None:
+        kinds = ["kill"]
+    sites = args.sites
+    if sites is None and args.kill_prob == 0:
+        # In-process default: the sites the recovery ladder wraps.
+        # suite.circuit.start is crash-isolation (whole row fails) and
+        # manifest/parse sites are not visited without --resume /
+        # file-based circuits, so arming them is noise here.
+        sites = ["solve.*", "sim.*", "ser.*"]
+    plan = build_plan(seed=args.seed, sites=sites, kinds=kinds,
+                      trigger=args.trigger, arms=args.arms,
+                      probability=args.prob, kill_prob=args.kill_prob)
+    progress = (lambda line: print(line, file=sys.stderr)) \
+        if args.verbose else None
+    if args.kill_prob > 0:
+        import tempfile
+
+        workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+        print(f"kill-loop chaos in {workdir}", file=sys.stderr)
+        _, card = run_kill_chaos(config, plan, workdir,
+                                 max_restarts=args.max_restarts,
+                                 verify=not args.no_verify,
+                                 progress=progress)
+    else:
+        _, card = run_chaos(config, plan, verify=not args.no_verify,
+                            oracle=args.oracle, progress=progress)
+    print(format_scorecard(card))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(card.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"scorecard written to {args.json}", file=sys.stderr)
+    return 1 if card.wrong_answers else 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from .circuits.generators import random_sequential_circuit
     from .circuits.suites import table1_circuit
@@ -257,6 +317,56 @@ def build_parser() -> argparse.ArgumentParser:
     solver_opts(p)
     p.set_defaults(func=cmd_table1)
 
+    p = sub.add_parser(
+        "chaos",
+        help="run the suite under fault injection, print a recovery "
+             "scorecard")
+    p.add_argument("circuits", nargs="*",
+                   help="row names (default: the 5 smallest Table I rows)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (the whole fault sequence is a "
+                        "pure function of it)")
+    p.add_argument("--sites", nargs="+", default=None, metavar="GLOB",
+                   help="injection sites to arm, names or globs "
+                        "(default: all; see repro.faultplane.sites)")
+    p.add_argument("--kinds", nargs="+", default=None, metavar="KIND",
+                   help="fault kinds to arm (default: every recoverable "
+                        "kind each site lists)")
+    p.add_argument("--trigger", type=int, default=1,
+                   help="fire on the Nth visit of each armed site")
+    p.add_argument("--arms", type=int, default=1,
+                   help="times each fault may fire (-1 = unlimited)")
+    p.add_argument("--prob", type=float, default=1.0,
+                   help="per-visit firing probability once triggered")
+    p.add_argument("--kill-prob", type=float, default=0.0,
+                   help="arm kill-capable sites with this probability and "
+                        "run the subprocess kill/restart harness instead "
+                        "of the in-process run")
+    p.add_argument("--workdir", default=None,
+                   help="kill-harness working directory (default: a "
+                        "fresh temp dir)")
+    p.add_argument("--max-restarts", type=int, default=40,
+                   help="restart budget of the kill harness")
+    p.add_argument("--oracle", action="store_true",
+                   help="cross-check every outcome against the "
+                        "brute-force oracle (small circuits only)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the clean differential reference run")
+    p.add_argument("--scale", type=float, default=None,
+                   help="suite scale factor (default from suites module)")
+    p.add_argument("--experiment-seed", type=int, default=0,
+                   help="experiment seed of the suite under test "
+                        "(--seed is the fault-plan seed)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS", help="per-stage wall-clock budget")
+    p.add_argument("--max-retries", type=int, default=1)
+    p.add_argument("--json", default=None,
+                   help="also write the scorecard as JSON here")
+    p.add_argument("--frames", type=int, default=15)
+    p.add_argument("--patterns", type=int, default=256)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_chaos)
+
     p = sub.add_parser("generate", help="emit a synthetic benchmark")
     p.add_argument("output")
     p.add_argument("--row", default=None,
@@ -276,11 +386,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "scale", None) is None and \
-            args.command in ("table1", "generate"):
+            args.command in ("table1", "generate", "chaos"):
         from .circuits.suites import DEFAULT_SCALE
 
         args.scale = DEFAULT_SCALE
+    injector = None
     try:
+        import os
+
+        if os.environ.get("REPRO_FAULT_PLAN"):
+            from .faultplane.plan import install_from_env
+
+            injector = install_from_env()
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -289,6 +406,12 @@ def main(argv: list[str] | None = None) -> int:
         # unreadable netlists, unwritable outputs / run manifests
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if injector is not None:
+            injector.flush_stats()
+            from .faultplane import hooks
+
+            hooks.uninstall()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..faultplane.hooks import fault_point
 from .constraints import Problem
 from .minobswin import RetimingResult, minobswin_retiming
 
@@ -32,6 +33,7 @@ def minobs_retiming(problem: Problem, r0: np.ndarray,
     ``deadline`` / ``should_stop`` cancellation hooks); the instance's
     ``rmin`` is ignored because P2' is never checked.
     """
+    fault_point("solve.minobs")
     return minobswin_retiming(problem, r0, skip_p2=True, restart=restart,
                               jump=jump, max_iterations=max_iterations,
                               keep_trace=keep_trace, deadline=deadline,

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DeadlineExceeded, InfeasibleError, RetimingError
+from ..faultplane.hooks import fault_point, filter_labels
 from .constraints import Problem, Violation, check_constraints, find_violations
 from .regular_forest import RegularForest
 
@@ -123,6 +124,9 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
     start = time.perf_counter()
     deadline_at = None if deadline is None else start + float(deadline)
     stage = "minobs" if skip_p2 else "minobswin"
+    if not skip_p2:
+        # The baseline announces itself at its own site (repro.core.minobs).
+        fault_point("solve.minobswin", stage=stage)
     r = np.asarray(r0, dtype=np.int64).copy()
     graph.validate_retiming(r)
     first_violation = check_constraints(problem, r, skip_p2=skip_p2)
@@ -140,6 +144,7 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
 
     while True:
         passes += 1
+        fault_point("solve.pass", stage=stage, passes=passes)
         pass_commits = 0
         forest.reset()
         multiplier = 1
@@ -210,6 +215,7 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
         if pass_commits == 0 or not restart:
             break
 
+    r = filter_labels("solve.result.labels", r)
     objective = problem.objective(r)
     return RetimingResult(
         r=r, objective=objective, commits=commits, iterations=iterations,

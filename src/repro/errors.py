@@ -130,6 +130,10 @@ class ManifestError(ExecutionError):
     """A run manifest is malformed or incompatible with the run."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (unknown site, bad kind...)."""
+
+
 class TimingError(ReproError):
     """Timing analysis failed (e.g. negative delay, inconsistent labels)."""
 

@@ -1,0 +1,136 @@
+"""The injection-site catalog: every named fault site in the codebase.
+
+A *site* is a stable name for one ``fault_point``/``filter_*`` call in an
+instrumented module.  The catalog is the single source of truth for what
+can be injected where -- plans are validated against it so a typo in a
+``--sites`` argument fails loudly instead of silently never firing.
+
+The catalog mirrors the failure taxonomy of ``docs/algorithm.md``
+(Sec. 7): each site lists the fault kinds that are *representative* of
+real failures at that layer.
+
++---------------------------+---------+----------------------------------+
+| site                      | layer   | kinds                            |
++===========================+=========+==================================+
+| ``solve.minobswin``       | core    | solver entry (Algorithm 1)       |
+| ``solve.minobs``          | core    | baseline-solver entry            |
+| ``solve.pass``            | core    | each fresh-forest pass           |
+| ``solve.result.labels``   | core    | label corruption on the result   |
+| ``sim.observability``     | sim     | signature-simulation entry       |
+| ``ser.analyze``           | ser     | SER analysis entry               |
+| ``parse.bench``           | netlist | ``.bench`` parser entry          |
+| ``parse.blif``            | netlist | BLIF parser entry                |
+| ``manifest.save.enter``   | runtime | checkpoint write begins          |
+| ``manifest.save.bytes``   | runtime | serialized bytes (torn writes)   |
+| ``manifest.save.midwrite``| runtime | half the temp file written       |
+| ``manifest.save.rename``  | runtime | temp synced, not yet renamed     |
+| ``manifest.save.done``    | runtime | checkpoint durable               |
+| ``manifest.load.enter``   | runtime | checkpoint read begins           |
+| ``suite.circuit.start``   | runtime | next suite circuit begins        |
+| ``suite.checkpoint``      | runtime | circuit checkpointed             |
++---------------------------+---------+----------------------------------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from ..errors import FaultPlanError
+
+#: Fault kinds realized by :meth:`FaultInjector.visit` (they raise or kill).
+VISIT_KINDS = ("transient", "deadline", "memory", "oserror", "kill")
+#: Fault kinds realized by the ``filter_*`` hooks (they corrupt data).
+FILTER_KINDS = ("torn", "garbage", "corrupt-labels")
+#: Every known fault kind.
+FAULT_KINDS = VISIT_KINDS + FILTER_KINDS
+
+
+@dataclass(frozen=True)
+class Site:
+    """One catalog entry."""
+
+    name: str
+    layer: str
+    kinds: tuple[str, ...]
+    description: str
+
+
+def _site(name: str, layer: str, kinds: tuple[str, ...],
+          description: str) -> tuple[str, Site]:
+    return name, Site(name, layer, kinds, description)
+
+
+#: The full catalog, keyed by site name.
+SITES: dict[str, Site] = dict((
+    _site("solve.minobswin", "core", ("transient", "deadline", "memory"),
+          "entry of the MinObsWin solve (Algorithm 1)"),
+    _site("solve.minobs", "core", ("transient", "deadline", "memory"),
+          "entry of the Efficient MinObs baseline solve"),
+    _site("solve.pass", "core", ("transient", "deadline", "memory"),
+          "start of each fresh-forest solver pass (either solver)"),
+    _site("solve.result.labels", "core", ("corrupt-labels",),
+          "the final retiming labels a solve is about to return"),
+    _site("sim.observability", "sim", ("transient", "memory"),
+          "entry of the n-time-frame signature simulation"),
+    _site("ser.analyze", "ser", ("transient", "memory"),
+          "entry of the eq. (4) SER analysis"),
+    _site("parse.bench", "netlist", ("transient", "oserror"),
+          "entry of the .bench parser"),
+    _site("parse.blif", "netlist", ("transient", "oserror"),
+          "entry of the BLIF parser"),
+    _site("manifest.save.enter", "runtime", ("oserror", "kill"),
+          "a manifest checkpoint write is about to begin"),
+    _site("manifest.save.bytes", "runtime", ("torn", "garbage"),
+          "the serialized manifest bytes (models a torn write)"),
+    _site("manifest.save.midwrite", "runtime", ("kill", "oserror"),
+          "half the manifest temp file has been written"),
+    _site("manifest.save.rename", "runtime", ("kill",),
+          "temp file written and fsynced, atomic rename still pending"),
+    _site("manifest.save.done", "runtime", ("kill",),
+          "the checkpoint is durable on disk"),
+    _site("manifest.load.enter", "runtime", ("oserror", "transient"),
+          "a manifest is about to be read"),
+    _site("suite.circuit.start", "runtime",
+          ("transient", "memory", "kill"),
+          "the suite runner is about to start the next circuit"),
+    _site("suite.checkpoint", "runtime", ("kill",),
+          "a circuit was recorded and checkpointed"),
+))
+
+
+def match_sites(pattern: str) -> list[str]:
+    """Catalog sites matching a name or ``fnmatch`` glob, sorted."""
+    return sorted(name for name in SITES if fnmatchcase(name, pattern))
+
+
+def sites_for_kind(kind: str) -> list[str]:
+    """Catalog sites that list ``kind`` as representative, sorted."""
+    return sorted(name for name, site in SITES.items()
+                  if kind in site.kinds)
+
+
+def check_plan(plan) -> None:
+    """Validate a :class:`~repro.faultplane.plan.FaultPlan` against the
+    catalog.
+
+    Every spec must use a known fault kind and its site pattern must
+    match at least one catalog site that lists that kind; raises
+    :class:`~repro.errors.FaultPlanError` otherwise.  A glob may also
+    cover sites that do *not* list the kind -- those simply never fire.
+    """
+    for spec in plan.faults:
+        if spec.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {spec.kind!r} (known: "
+                f"{', '.join(FAULT_KINDS)})")
+        matched = match_sites(spec.site)
+        if not matched:
+            raise FaultPlanError(
+                f"fault site pattern {spec.site!r} matches no known "
+                f"injection site (see repro.faultplane.sites.SITES)")
+        if not any(spec.kind in SITES[name].kinds for name in matched):
+            raise FaultPlanError(
+                f"fault kind {spec.kind!r} is not representative at any "
+                f"site matching {spec.site!r} "
+                f"(matched: {', '.join(matched)})")

@@ -22,6 +22,7 @@ import io
 import os
 
 from ..errors import ParseError
+from ..faultplane.hooks import fault_point
 from .cell_library import SUPPORTED_OPS, CellLibrary
 from .circuit import Circuit
 
@@ -37,6 +38,7 @@ def loads_bench(text: str, name: str = "bench",
     references); validation of references happens after the full file is
     read.
     """
+    fault_point("parse.bench", name=name, path=path)
     circuit = Circuit(name, library)
     pending_outputs: list[tuple[str, int]] = []
     decl_lines: dict[str, int] = {}
@@ -107,8 +109,12 @@ def load_bench(path: str | os.PathLike[str],
                library: CellLibrary | None = None) -> Circuit:
     """Read a ``.bench`` file from ``path``."""
     path = os.fspath(path)
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except UnicodeDecodeError as exc:
+        # Binary garbage is a parse failure, not a programming error.
+        raise ParseError(f"not valid UTF-8 text: {exc}", path) from exc
     base = os.path.splitext(os.path.basename(path))[0]
     return loads_bench(text, name=base, library=library, path=path)
 

@@ -20,6 +20,7 @@ import itertools
 import os
 
 from ..errors import ParseError
+from ..faultplane.hooks import fault_point
 from .cell_library import CellLibrary, evaluate_op
 from .circuit import Circuit
 
@@ -85,6 +86,7 @@ def _match_op(table: list[int], n_inputs: int) -> str | None:
 def loads_blif(text: str, library: CellLibrary | None = None,
                path: str | None = None) -> Circuit:
     """Parse BLIF source text into a :class:`Circuit`."""
+    fault_point("parse.blif", path=path)
     circuit: Circuit | None = None
     pending_outputs: list[str] = []
     decl_lines: dict[str, int] = {}
@@ -190,8 +192,13 @@ def load_blif(path: str | os.PathLike[str],
               library: CellLibrary | None = None) -> Circuit:
     """Read a BLIF file from ``path``."""
     path = os.fspath(path)
-    with open(path, "r", encoding="utf-8") as handle:
-        return loads_blif(handle.read(), library=library, path=path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except UnicodeDecodeError as exc:
+        # Binary garbage is a parse failure, not a programming error.
+        raise ParseError(f"not valid UTF-8 text: {exc}", path) from exc
+    return loads_blif(text, library=library, path=path)
 
 
 def _op_cover(op: str, n_inputs: int) -> list[str]:

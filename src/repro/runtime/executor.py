@@ -34,8 +34,10 @@ from .deadline import Deadline
 
 #: Exception classes whose failures are deterministic: retrying the same
 #: rung with the same inputs cannot help, so the executor degrades
-#: immediately instead of burning retries.
-NON_RETRYABLE = (DeadlineExceeded, VerificationError)
+#: immediately instead of burning retries.  ``MemoryError`` qualifies
+#: because the same rung re-allocates the same footprint -- only a lower
+#: rung (smaller working set) changes the outcome.
+NON_RETRYABLE = (DeadlineExceeded, VerificationError, MemoryError)
 
 
 @dataclass

@@ -8,11 +8,12 @@ the manifest verbatim -- their stored rows are the exact dictionaries the
 report formatter consumes, so a resumed run reproduces a byte-identical
 final report.
 
-Schema (``format: repro-run-manifest``, version 1)::
+Schema (``format: repro-run-manifest``, version 2)::
 
     {
       "format": "repro-run-manifest",
-      "version": 1,
+      "version": 2,
+      "checksum": "sha256:<hex>",             // over the canonical JSON
       "config": { ...suite fingerprint (names, scale, seed, ...)... },
       "circuits": ["s13207", ...],            // planned order
       "completed": {
@@ -26,11 +27,24 @@ Schema (``format: repro-run-manifest``, version 1)::
       }
     }
 
+Durability protocol: the payload (checksum included) is written to a
+temp file in the target directory, the temp file is flushed and
+``fsync``\\ ed, then atomically renamed over the manifest, and the
+directory entry is fsynced best-effort.  A crash at *any* point
+therefore leaves either the previous manifest or the new one -- never a
+torn file -- and the checksum turns any remaining corruption (filesystem
+lies, hand edits) into a clear :class:`~repro.errors.ManifestError`
+instead of a resume from garbage.  The write path is instrumented with
+``manifest.save.*`` fault-injection sites (see
+:mod:`repro.faultplane.sites`) and the chaos suite kills the process at
+each of them to prove the claim.
+
 See ``docs/file_formats.md`` for the full field reference.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -38,10 +52,71 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ManifestError
+from ..faultplane.hooks import fault_point, filter_bytes
 from .executor import FailureRecord
 
 MANIFEST_FORMAT = "repro-run-manifest"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+
+
+def manifest_checksum(payload: dict[str, Any]) -> str:
+    """Checksum of a manifest payload: ``"sha256:<hex>"`` over the
+    canonical JSON serialization (sorted keys, compact separators) with
+    the ``checksum`` field itself excluded."""
+    body = {key: value for key, value in payload.items()
+            if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+#: Required top-level manifest fields and their types (beyond the
+#: format/version/checksum envelope).
+_SCHEMA: tuple[tuple[str, type], ...] = (
+    ("config", dict), ("circuits", list), ("completed", dict))
+
+#: Per-record field types; ``row`` is the only required one.
+_RECORD_SCHEMA: tuple[tuple[str, tuple[type, ...], bool], ...] = (
+    ("row", (dict,), True),
+    ("report", (dict, type(None)), False),
+    ("status", (str,), False),
+    ("elapsed", (int, float), False),
+    ("failures", (list,), False),
+)
+
+
+def _validate_schema(payload: dict[str, Any], path: str) -> None:
+    """Field-level validation, so a damaged manifest fails with a located
+    :class:`~repro.errors.ManifestError` instead of a stray ``KeyError``
+    deep inside the resume path."""
+    for key, expected in _SCHEMA:
+        if key not in payload:
+            raise ManifestError(f"{path!r} is missing the {key!r} field")
+        if not isinstance(payload[key], expected):
+            raise ManifestError(
+                f"{path!r}: field {key!r} must be a {expected.__name__}, "
+                f"got {type(payload[key]).__name__}")
+    for name in payload["circuits"]:
+        if not isinstance(name, str):
+            raise ManifestError(
+                f"{path!r}: 'circuits' must be a list of names, found a "
+                f"{type(name).__name__}")
+    for name, record in payload["completed"].items():
+        if not isinstance(record, dict):
+            raise ManifestError(
+                f"{path!r}: malformed record for circuit {name!r}: "
+                f"expected an object, got {type(record).__name__}")
+        for key, types, required in _RECORD_SCHEMA:
+            if key not in record:
+                if required:
+                    raise ManifestError(
+                        f"{path!r}: malformed record for circuit "
+                        f"{name!r}: missing the {key!r} field")
+                continue
+            if not isinstance(record[key], types):
+                raise ManifestError(
+                    f"{path!r}: malformed record for circuit {name!r}: "
+                    f"field {key!r} has type {type(record[key]).__name__}")
 
 
 @dataclass
@@ -83,9 +158,8 @@ class RunManifest:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike[str]) -> None:
-        """Atomically write the manifest (tmp file + rename)."""
-        path = os.fspath(path)
+    def payload(self) -> dict[str, Any]:
+        """The serializable manifest payload, checksum included."""
         payload = {
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
@@ -94,14 +168,46 @@ class RunManifest:
             "completed": {name: rec.to_dict()
                           for name, rec in self.completed.items()},
         }
+        payload["checksum"] = manifest_checksum(payload)
+        return payload
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Durably and atomically write the manifest.
+
+        Temp file in the target directory -> write -> flush -> fsync ->
+        atomic rename -> best-effort directory fsync.  A crash anywhere
+        in this sequence leaves either the old manifest or the new one
+        on disk, never a torn mix.
+        """
+        path = os.fspath(path)
+        fault_point("manifest.save.enter", path=path,
+                    completed=len(self.completed))
+        data = (json.dumps(self.payload(), indent=2, sort_keys=True)
+                + "\n").encode("utf-8")
+        data = filter_bytes("manifest.save.bytes", data)
         directory = os.path.dirname(path) or "."
         fd, tmp = tempfile.mkstemp(prefix=".manifest-", suffix=".json",
                                    dir=directory)
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            with os.fdopen(fd, "wb") as handle:
+                half = len(data) // 2
+                handle.write(data[:half])
+                handle.flush()
+                fault_point("manifest.save.midwrite", path=path)
+                handle.write(data[half:])
+                handle.flush()
+                os.fsync(handle.fileno())
+            fault_point("manifest.save.rename", path=path)
             os.replace(tmp, path)
+            try:
+                dir_fd = os.open(directory, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:
+                pass  # directory fsync is best-effort (not all platforms)
+            fault_point("manifest.save.done", path=path)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -112,10 +218,11 @@ class RunManifest:
     @classmethod
     def load(cls, path: str | os.PathLike[str]) -> "RunManifest":
         path = os.fspath(path)
+        fault_point("manifest.load.enter", path=path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ManifestError(f"cannot read run manifest {path!r}: {exc}") \
                 from exc
         if not isinstance(payload, dict) or \
@@ -125,9 +232,21 @@ class RunManifest:
             raise ManifestError(
                 f"{path!r} has manifest version {payload.get('version')!r}, "
                 f"this build reads version {MANIFEST_VERSION}")
-        manifest = cls(config=dict(payload.get("config", {})),
-                       circuits=list(payload.get("circuits", [])))
-        for name, data in payload.get("completed", {}).items():
+        stored = payload.get("checksum")
+        if not isinstance(stored, str):
+            raise ManifestError(
+                f"{path!r} has no checksum field; the manifest is "
+                f"truncated or was written by an incompatible tool")
+        expected = manifest_checksum(payload)
+        if stored != expected:
+            raise ManifestError(
+                f"{path!r} fails its integrity check (stored {stored}, "
+                f"computed {expected}); the file is torn or corrupted -- "
+                f"delete it to restart the run from scratch")
+        _validate_schema(payload, path)
+        manifest = cls(config=dict(payload["config"]),
+                       circuits=list(payload["circuits"]))
+        for name, data in payload["completed"].items():
             try:
                 manifest.completed[name] = CircuitRecord.from_dict(name, data)
             except (KeyError, TypeError, ValueError) as exc:

@@ -35,6 +35,7 @@ from typing import Any
 from ..core.initialization import InitialRetiming, initialize
 from ..core.minobswin import RetimingResult
 from ..errors import DeadlineExceeded
+from ..faultplane.hooks import fault_point
 from ..graph.retiming_graph import RetimingGraph
 from ..graph.timing import achieved_period
 from ..netlist.circuit import Circuit
@@ -416,6 +417,7 @@ def run_suite(config: SuiteConfig,
             continue
         t0 = time.perf_counter()
         try:
+            fault_point("suite.circuit.start", circuit=name)
             circuit = circuit_factory(name)
             run = optimize_resilient(circuit, config)
         except Exception as exc:  # crash isolation around the whole flow
@@ -433,6 +435,17 @@ def run_suite(config: SuiteConfig,
         runs.append(run)
         if manifest is not None:
             manifest.record(run.to_record())
-            manifest.save(manifest_path)
+            try:
+                manifest.save(manifest_path)
+            except OSError as exc:
+                # Checkpointing is advisory: a full disk must not kill
+                # the run.  The manifest keeps every record in memory,
+                # so the next successful save repairs the file.
+                if config.strict:
+                    raise
+                note(f"warning: checkpoint save failed ({exc}); "
+                     f"continuing without checkpoint")
+            else:
+                fault_point("suite.checkpoint", circuit=name)
         note(f"{name}: {run.status} ({run.elapsed:.2f}s)")
     return SuiteResult(runs=runs)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..errors import AnalysisError
 from ..core.elw import circuit_elws
+from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
 from ..sim.odc import observability
 from .rates import RateModel
@@ -111,6 +112,7 @@ def analyze_ser(circuit: Circuit, phi: float,
     """
     if phi <= 0:
         raise AnalysisError("clock period must be positive")
+    fault_point("ser.analyze", circuit=circuit.name)
     if setup is None:
         setup = circuit.library.setup_time
     if hold is None:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import AnalysisError
+from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
 from .bitvec import all_ones, all_zeros, fraction_of_ones, random_patterns, trim
 from .logicsim import eval_gate, simulate_comb
@@ -111,6 +112,7 @@ def observability(circuit: Circuit, n_frames: int = 15,
     """Signature-based observability with backward ODC propagation."""
     if n_frames < 1:
         raise AnalysisError("n_frames must be >= 1")
+    fault_point("sim.observability", circuit=circuit.name, seed=seed)
     rng = np.random.default_rng(seed)
     if warmup is None:
         warmup = n_frames

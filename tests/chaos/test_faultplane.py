@@ -1,0 +1,333 @@
+"""Tests for the deterministic fault-injection plane itself.
+
+Everything here is cheap and runs in tier-1: plan validation and
+serialization, injector determinism, the byte/label filters, the no-op
+hook layer, and environment wiring.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceeded, FaultPlanError
+from repro.faultplane import hooks
+from repro.faultplane.plan import (ENV_PLAN, ENV_STATS, FaultInjector,
+                                   FaultPlan, FaultSpec,
+                                   InjectedIOError, InjectedMemoryError,
+                                   InjectedTransientError,
+                                   install_from_env)
+from repro.faultplane.sites import (FAULT_KINDS, SITES, check_plan,
+                                    match_sites, sites_for_kind)
+
+
+def spec(**kwargs):
+    base = dict(site="solve.minobswin", kind="transient")
+    base.update(kwargs)
+    return FaultSpec(**base)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        s = spec()
+        assert s.trigger == 1 and s.arms == 1 and s.probability == 1.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            spec(kind="gremlins")
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_trigger_must_be_one_based(self, bad):
+        with pytest.raises(FaultPlanError, match="trigger"):
+            spec(trigger=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_arms_zero_or_below_minus_one_rejected(self, bad):
+        with pytest.raises(FaultPlanError, match="arms"):
+            spec(arms=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_probability_bounds(self, bad):
+        with pytest.raises(FaultPlanError, match="probability"):
+            spec(probability=bad)
+
+    def test_dict_roundtrip(self):
+        s = spec(trigger=3, arms=-1, probability=0.25)
+        assert FaultSpec.from_dict(s.to_dict()) == s
+
+    def test_malformed_dict_located(self):
+        with pytest.raises(FaultPlanError, match="malformed fault spec"):
+            FaultSpec.from_dict({"kind": "transient"})  # site missing
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(seed=7, faults=[spec(), spec(kind="deadline")])
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.seed == 7
+        assert again.faults == plan.faults
+
+    def test_missing_format_tag(self):
+        with pytest.raises(FaultPlanError, match="format"):
+            FaultPlan.from_json(json.dumps({"seed": 0}))
+
+    def test_unsupported_version(self):
+        with pytest.raises(FaultPlanError, match="version"):
+            FaultPlan.from_json(json.dumps(
+                {"format": "repro-fault-plan", "version": 99}))
+
+    def test_not_json(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+
+class TestSiteCatalog:
+    def test_every_site_kind_is_known(self):
+        for site in SITES.values():
+            for kind in site.kinds:
+                assert kind in FAULT_KINDS, (site.name, kind)
+
+    def test_match_sites_glob(self):
+        names = match_sites("manifest.save.*")
+        assert "manifest.save.bytes" in names
+        assert names == sorted(names)
+
+    def test_sites_for_kind(self):
+        for name in sites_for_kind("torn"):
+            assert "torn" in SITES[name].kinds
+
+    def test_check_plan_rejects_unmatched_pattern(self):
+        plan = FaultPlan(faults=[spec(site="no.such.site")])
+        with pytest.raises(FaultPlanError, match="no.such.site"):
+            check_plan(plan)
+
+    def test_check_plan_rejects_kind_site_mismatch(self):
+        # solver visit sites do not list byte corruption
+        plan = FaultPlan(faults=[spec(site="solve.minobswin",
+                                      kind="torn")])
+        with pytest.raises(FaultPlanError):
+            check_plan(plan)
+
+    def test_check_plan_accepts_valid(self):
+        check_plan(FaultPlan(faults=[spec(site="solve.*")]))
+
+
+class TestInjectorFiring:
+    def test_trigger_on_nth_call(self):
+        inj = FaultInjector(FaultPlan(faults=[spec(trigger=3)]))
+        inj.visit("solve.minobswin", {})
+        inj.visit("solve.minobswin", {})
+        with pytest.raises(InjectedTransientError):
+            inj.visit("solve.minobswin", {})
+
+    def test_arms_limit_disarms(self):
+        inj = FaultInjector(FaultPlan(faults=[spec(arms=2, trigger=1)]))
+        for _ in range(2):
+            with pytest.raises(InjectedTransientError):
+                inj.visit("solve.minobswin", {})
+        inj.visit("solve.minobswin", {})  # disarmed: no raise
+        assert sum(inj.fired) == 2
+
+    def test_glob_site_matches(self):
+        inj = FaultInjector(FaultPlan(faults=[spec(site="solve.*")]))
+        with pytest.raises(InjectedTransientError):
+            inj.visit("solve.minobs", {})
+
+    def test_non_matching_site_untouched(self):
+        inj = FaultInjector(FaultPlan(faults=[spec()]))
+        inj.visit("sim.observability", {})
+        assert inj.events == []
+
+    @pytest.mark.parametrize("kind,exc", [
+        ("transient", InjectedTransientError),
+        ("deadline", DeadlineExceeded),
+        ("memory", InjectedMemoryError),
+        ("oserror", InjectedIOError),
+    ])
+    def test_kind_exception_mapping(self, kind, exc):
+        inj = FaultInjector(FaultPlan(faults=[
+            FaultSpec(site="x", kind=kind)]))
+        with pytest.raises(exc, match="injected"):
+            inj.visit("x", {})
+
+    def test_message_names_site_call_and_seed(self):
+        inj = FaultInjector(FaultPlan(seed=42, faults=[spec(trigger=2)]))
+        inj.visit("solve.minobswin", {})
+        with pytest.raises(InjectedTransientError) as excinfo:
+            inj.visit("solve.minobswin", {})
+        msg = str(excinfo.value)
+        assert "solve.minobswin" in msg
+        assert "call 2" in msg and "seed 42" in msg
+
+    def test_probability_stream_is_deterministic(self):
+        def fire_pattern(seed):
+            inj = FaultInjector(FaultPlan(seed=seed, faults=[
+                spec(arms=-1, probability=0.5)]))
+            pattern = []
+            for _ in range(32):
+                try:
+                    inj.visit("solve.minobswin", {})
+                    pattern.append(0)
+                except InjectedTransientError:
+                    pattern.append(1)
+            return pattern
+
+        assert fire_pattern(3) == fire_pattern(3)
+        assert 0 < sum(fire_pattern(3)) < 32  # actually probabilistic
+        assert fire_pattern(3) != fire_pattern(4)
+
+    def test_stats_counts_by_site(self):
+        inj = FaultInjector(FaultPlan(faults=[spec(arms=2)]))
+        for _ in range(2):
+            with pytest.raises(InjectedTransientError):
+                inj.visit("solve.minobswin", {})
+        stats = inj.stats()
+        assert stats["injected"] == 2
+        assert stats["by_site"] == {"solve.minobswin/transient": 2}
+        assert [e["call"] for e in stats["events"]] == [1, 2]
+
+    def test_event_context_keeps_scalars_only(self):
+        inj = FaultInjector(FaultPlan(faults=[spec()]))
+        with pytest.raises(InjectedTransientError):
+            inj.visit("solve.minobswin",
+                      {"stage": "minobswin", "blob": object()})
+        context = inj.stats()["events"][0]["context"]
+        assert context == {"stage": "minobswin"}
+
+
+class TestFilters:
+    def torn_injector(self, kind, seed=0, arms=1):
+        return FaultInjector(FaultPlan(seed=seed, faults=[
+            FaultSpec(site="manifest.save.bytes", kind=kind,
+                      arms=arms)]))
+
+    def test_torn_is_strict_prefix(self):
+        data = bytes(range(64))
+        out = self.torn_injector("torn").filter_bytes(
+            "manifest.save.bytes", data)
+        assert len(out) < len(data)
+        assert data.startswith(out)
+
+    def test_garbage_keeps_length(self):
+        data = bytes(range(64))
+        out = self.torn_injector("garbage").filter_bytes(
+            "manifest.save.bytes", data)
+        assert len(out) == len(data)
+        assert out != data
+
+    def test_filters_deterministic_per_seed(self):
+        data = b"x" * 100
+        one = self.torn_injector("torn", seed=5).filter_bytes(
+            "manifest.save.bytes", data)
+        two = self.torn_injector("torn", seed=5).filter_bytes(
+            "manifest.save.bytes", data)
+        assert one == two
+
+    def test_disarmed_filter_passes_through(self):
+        inj = self.torn_injector("torn", arms=1)
+        inj.filter_bytes("manifest.save.bytes", b"abc")
+        assert inj.filter_bytes("manifest.save.bytes", b"abc") == b"abc"
+
+    def test_corrupt_labels_copies_not_mutates(self):
+        inj = FaultInjector(FaultPlan(faults=[
+            FaultSpec(site="solve.result.labels",
+                      kind="corrupt-labels")]))
+        labels = np.zeros(8, dtype=np.int64)
+        out = inj.filter_labels("solve.result.labels", labels)
+        assert (labels == 0).all()  # original untouched
+        assert (out != labels).any()
+        assert out[0] == 0  # host label never the victim
+
+
+class TestHooks:
+    def test_default_is_noop(self):
+        assert hooks.active() is None
+        hooks.fault_point("solve.minobswin", stage="x")
+        assert hooks.filter_bytes("manifest.save.bytes", b"d") == b"d"
+        labels = [0, 1]
+        assert hooks.filter_labels("solve.result.labels",
+                                   labels) is labels
+
+    def test_installed_restores_on_exit(self):
+        inj = FaultInjector(FaultPlan(faults=[spec()]))
+        with hooks.installed(inj):
+            assert hooks.active() is inj
+            with pytest.raises(InjectedTransientError):
+                hooks.fault_point("solve.minobswin")
+        assert hooks.active() is None
+        hooks.fault_point("solve.minobswin")  # no-op again
+
+    def test_installed_restores_on_error(self):
+        inj = FaultInjector(FaultPlan(faults=[]))
+        with pytest.raises(ValueError):
+            with hooks.installed(inj):
+                raise ValueError("boom")
+        assert hooks.active() is None
+
+
+class TestInstallFromEnv:
+    def teardown_method(self):
+        hooks.uninstall()
+
+    def test_unset_returns_none(self):
+        assert install_from_env({}) is None
+
+    def test_inline_json(self):
+        plan = FaultPlan(seed=9, faults=[spec()])
+        inj = install_from_env({ENV_PLAN: plan.to_json()})
+        assert inj is not None and hooks.active() is inj
+        assert inj.plan.seed == 9
+
+    def test_path_to_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan(faults=[spec()]).to_json())
+        inj = install_from_env({ENV_PLAN: str(path)})
+        assert inj.plan.faults[0].site == "solve.minobswin"
+
+    def test_missing_path_is_located_error(self):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            install_from_env({ENV_PLAN: "/no/such/plan.json"})
+
+    def test_garbage_inline_is_located_error(self):
+        with pytest.raises(FaultPlanError, match="JSON"):
+            install_from_env({ENV_PLAN: "{broken"})
+
+    def test_invalid_site_rejected_at_install(self):
+        plan_json = FaultPlan(faults=[spec()]).to_json().replace(
+            "solve.minobswin", "no.such.site")
+        with pytest.raises(FaultPlanError):
+            install_from_env({ENV_PLAN: plan_json})
+
+    def test_stats_path_plumbed(self, tmp_path):
+        stats = tmp_path / "stats.jsonl"
+        inj = install_from_env({
+            ENV_PLAN: FaultPlan(faults=[spec()]).to_json(),
+            ENV_STATS: str(stats)})
+        with pytest.raises(InjectedTransientError):
+            inj.visit("solve.minobswin", {})
+        inj.flush_stats()
+        lines = stats.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["injected"] == 1
+
+
+class TestNoOpOverhead:
+    def test_solver_output_bit_identical_with_idle_injector(self):
+        """An installed-but-never-firing plan must not change results."""
+        from repro.pipeline import optimize_circuit
+
+        from .conftest import tiny_factory
+
+        circuit = tiny_factory("alpha")
+        clean = optimize_circuit(circuit, n_frames=3, n_patterns=32)
+
+        idle = FaultPlan(faults=[spec(trigger=10**9)])
+        with hooks.installed(FaultInjector(idle)):
+            under = optimize_circuit(tiny_factory("alpha"),
+                                     n_frames=3, n_patterns=32)
+
+        for algorithm in clean.outcomes:
+            a = clean.outcomes[algorithm].result
+            b = under.outcomes[algorithm].result
+            assert (a.r == b.r).all()
+            assert a.objective == b.objective

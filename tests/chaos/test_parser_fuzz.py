@@ -1,0 +1,99 @@
+"""Seeded corruption fuzzing of the netlist parsers.
+
+Every mutated input must either parse into a circuit or fail with a
+*located* :class:`~repro.errors.NetlistError` -- never an uncaught
+``ValueError``/``KeyError``/``UnicodeDecodeError``/``IndexError`` from
+parser internals.  The mutation schedule is a pure function of the seed,
+so any failure here is replayable.
+
+The round counts are bounded so this runs in tier-1.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.errors import NetlistError, ParseError
+from repro.netlist import Circuit
+from repro.netlist.bench_format import dumps_bench, load_bench
+from repro.netlist.blif_format import dumps_blif, load_blif
+
+N_ROUNDS = 60
+
+
+def seed_circuit():
+    return random_sequential_circuit(
+        "fuzz", n_gates=25, n_dffs=6, n_inputs=3, n_outputs=3, seed=1)
+
+
+def mutate(data: bytes, rng: random.Random) -> bytes:
+    """One seeded corruption: flip, delete, insert or truncate."""
+    if not data:
+        return data
+    op = rng.randrange(4)
+    pos = rng.randrange(len(data))
+    if op == 0:  # flip one byte
+        return data[:pos] + bytes([data[pos] ^ (1 << rng.randrange(8))]) \
+            + data[pos + 1:]
+    if op == 1:  # delete a short span
+        return data[:pos] + data[pos + rng.randrange(1, 8):]
+    if op == 2:  # insert random bytes
+        junk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 6)))
+        return data[:pos] + junk + data[pos:]
+    return data[:pos]  # truncate
+
+
+def fuzz_loader(loader, dumped: str, tmp_path, seed: int) -> None:
+    rng = random.Random(seed)
+    base = dumped.encode()
+    path = tmp_path / "fuzzed"
+    for round_index in range(N_ROUNDS):
+        data = base
+        for _ in range(rng.randrange(1, 4)):
+            data = mutate(data, rng)
+        path.write_bytes(data)
+        try:
+            circuit = loader(path)
+        except NetlistError as exc:
+            # located: the message identifies the offending file
+            assert "fuzzed" in str(exc), \
+                f"round {round_index} (seed {seed}): unlocated {exc!r}"
+        except Exception as exc:  # noqa: BLE001 - the point of the test
+            pytest.fail(f"round {round_index} (seed {seed}): "
+                        f"leaked {type(exc).__name__}: {exc}")
+        else:
+            assert isinstance(circuit, Circuit)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestByteFlipFuzz:
+    def test_bench_parser(self, tmp_path, seed):
+        fuzz_loader(load_bench, dumps_bench(seed_circuit()),
+                    tmp_path, seed)
+
+    def test_blif_parser(self, tmp_path, seed):
+        fuzz_loader(load_blif, dumps_blif(seed_circuit()),
+                    tmp_path, seed)
+
+
+class TestNonText:
+    def test_binary_bench_is_parse_error(self, tmp_path):
+        path = tmp_path / "blob.bench"
+        path.write_bytes(bytes(range(256)) * 4)
+        with pytest.raises(ParseError, match="UTF-8"):
+            load_bench(path)
+
+    def test_binary_blif_is_parse_error(self, tmp_path):
+        path = tmp_path / "blob.blif"
+        path.write_bytes(bytes(range(256)) * 4)
+        with pytest.raises(ParseError, match="UTF-8"):
+            load_blif(path)
+
+    def test_empty_file_does_not_crash(self, tmp_path):
+        path = tmp_path / "empty.bench"
+        path.write_bytes(b"")
+        try:
+            load_bench(path)
+        except NetlistError:
+            pass

@@ -83,6 +83,7 @@ class TestNonRetryable:
     @pytest.mark.parametrize("exc_factory", [
         lambda: DeadlineExceeded("late", stage="s"),
         lambda: VerificationError("bad"),
+        lambda: MemoryError("allocation of 8 GiB failed"),
     ])
     def test_skips_retries_and_degrades(self, exc_factory):
         calls = []
@@ -100,6 +101,35 @@ class TestNonRetryable:
     def test_non_retryable_tuple_contents(self):
         assert DeadlineExceeded in NON_RETRYABLE
         assert VerificationError in NON_RETRYABLE
+        assert MemoryError in NON_RETRYABLE
+
+    def test_memory_error_degrades_to_smaller_rung(self):
+        # The degrade path is the memory fix: a lower rung has a smaller
+        # working set, retrying the same rung would just re-allocate.
+        failures = []
+        out = run_ladder("s", [
+            ("big", failing(lambda: MemoryError("too big"))),
+            ("small", lambda ctx: "small-answer"),
+        ], max_retries=3, failures=failures)
+        assert out.value == "small-answer"
+        assert out.degraded
+        assert [f.action for f in failures] == ["degrade"]
+
+    def test_deterministic_exhaust_skips_remaining_attempts(self):
+        # Every rung fails deterministically: exactly one attempt per
+        # rung despite the retry budget.
+        calls = {"a": 0, "b": 0}
+
+        def rung(label):
+            def fn(ctx):
+                calls[label] += 1
+                raise MemoryError(label)
+            return fn
+
+        with pytest.raises(ExecutionError):
+            run_ladder("s", [("a", rung("a")), ("b", rung("b"))],
+                       max_retries=5)
+        assert calls == {"a": 1, "b": 1}
 
 
 class TestExhaustion:

@@ -8,7 +8,15 @@ import pytest
 from repro.errors import ManifestError
 from repro.runtime.executor import FailureRecord
 from repro.runtime.manifest import (MANIFEST_FORMAT, MANIFEST_VERSION,
-                                    CircuitRecord, RunManifest)
+                                    CircuitRecord, RunManifest,
+                                    manifest_checksum)
+
+
+def write_payload(path, payload):
+    """Write a hand-built manifest payload with a valid checksum."""
+    payload = dict(payload)
+    payload["checksum"] = manifest_checksum(payload)
+    path.write_text(json.dumps(payload))
 
 
 @pytest.fixture
@@ -95,12 +103,50 @@ class TestLoadErrors:
 
     def test_malformed_record(self, tmp_path):
         path = tmp_path / "rec.json"
-        path.write_text(json.dumps({
+        write_payload(path, {
             "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
             "config": {}, "circuits": ["x"],
             "completed": {"x": {"status": "ok"}},  # row missing
-        }))
+        })
         with pytest.raises(ManifestError, match="malformed record"):
+            RunManifest.load(path)
+
+    def test_missing_checksum(self, tmp_path):
+        path = tmp_path / "nochk.json"
+        path.write_text(json.dumps({
+            "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
+            "config": {}, "circuits": [], "completed": {},
+        }))
+        with pytest.raises(ManifestError, match="no checksum"):
+            RunManifest.load(path)
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path, record):
+        path = tmp_path / "flip.json"
+        manifest = RunManifest(config={"seed": 0}, circuits=["s13207"])
+        manifest.record(record)
+        manifest.save(path)
+        text = path.read_text().replace('"elapsed": 1.25',
+                                        '"elapsed": 9.99')
+        path.write_text(text)
+        with pytest.raises(ManifestError, match="integrity check"):
+            RunManifest.load(path)
+
+    def test_missing_field_located(self, tmp_path):
+        path = tmp_path / "nofield.json"
+        write_payload(path, {
+            "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
+            "config": {}, "completed": {},  # circuits missing
+        })
+        with pytest.raises(ManifestError, match="missing the 'circuits'"):
+            RunManifest.load(path)
+
+    def test_wrong_field_type_located(self, tmp_path):
+        path = tmp_path / "badtype.json"
+        write_payload(path, {
+            "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
+            "config": {}, "circuits": "s13207", "completed": {},
+        })
+        with pytest.raises(ManifestError, match="'circuits' must be"):
             RunManifest.load(path)
 
 

@@ -180,6 +180,31 @@ class TestTable1Resilience:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_resume_corrupt_manifest_is_clean_error(self, tmp_path,
+                                                    capsys):
+        manifest = str(tmp_path / "run.json")
+        assert main(self.ARGS + ["--resume", manifest]) == 0
+        capsys.readouterr()
+        text = open(manifest).read().replace('"status": "ok"',
+                                             '"status": "OK"')
+        open(manifest, "w").write(text)
+        code = main(self.ARGS + ["--resume", manifest])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "integrity check" in err
+        assert "Traceback" not in err
+
+    def test_resume_garbage_manifest_is_clean_error(self, tmp_path,
+                                                    capsys):
+        manifest = tmp_path / "run.json"
+        manifest.write_bytes(b"\x00\xff garbage \x80 not json")
+        code = main(self.ARGS + ["--resume", str(manifest)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
     def test_strict_flag_parses(self):
         parser = build_parser()
         args = parser.parse_args(self.ARGS + ["--strict", "--no-guard",
