@@ -28,7 +28,7 @@ import argparse
 import sys
 
 from ._util import percent
-from .errors import ReproError
+from .errors import ReproError, WorkerCrashError
 
 
 #: Extensions `_load` understands, mapped to their reader names.
@@ -135,7 +135,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
         n_frames=args.frames, n_patterns=args.patterns,
         epsilon=args.epsilon, maximal_start=args.maximal_start,
         deadline=args.deadline, max_retries=args.max_retries,
-        strict=args.strict, guard=not args.no_guard)
+        strict=args.strict, guard=not args.no_guard,
+        workers=args.workers)
     progress = (lambda line: print(line, file=sys.stderr)) \
         if args.verbose else None
     suite = run_suite(config, manifest_path=args.resume, progress=progress)
@@ -185,7 +186,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         circuits=tuple(names), scale=args.scale,
         seed=args.experiment_seed, n_frames=args.frames,
         n_patterns=args.patterns, deadline=args.deadline,
-        max_retries=args.max_retries)
+        max_retries=args.max_retries, workers=args.workers)
     # Kill mode arms only kill faults by default: a deterministic
     # always-firing fault would make every restart fail identically.
     kinds = args.kinds
@@ -312,6 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "degrading (debugging mode)")
     p.add_argument("--no-guard", action="store_true",
                    help="skip the post-retime verification guard")
+    p.add_argument("-w", "--workers", type=int, default=1,
+                   help="worker processes; >1 shards the suite across "
+                        "a process pool with a deterministic merge "
+                        "(same result checksum as a serial run)")
     p.add_argument("-v", "--verbose", action="store_true")
     common(p)
     solver_opts(p)
@@ -364,6 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the scorecard as JSON here")
     p.add_argument("--frames", type=int, default=15)
     p.add_argument("--patterns", type=int, default=256)
+    p.add_argument("-w", "--workers", type=int, default=1,
+                   help="worker processes for the suite under test "
+                        "(fault plans propagate with per-shard seeds)")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=cmd_chaos)
 
@@ -399,6 +407,15 @@ def main(argv: list[str] | None = None) -> int:
 
             injector = install_from_env()
         return args.func(args)
+    except WorkerCrashError as exc:
+        # A parallel worker died hard (e.g. an injected kill); every
+        # completed shard was salvaged into the manifest.  Exit with the
+        # kill code so the restart harness resumes instead of treating
+        # the run as a deterministic failure.
+        from .faultplane.plan import KILL_EXIT_CODE
+
+        print(f"error: {exc}", file=sys.stderr)
+        return KILL_EXIT_CODE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -130,6 +130,19 @@ class ManifestError(ExecutionError):
     """A run manifest is malformed or incompatible with the run."""
 
 
+class WorkerCrashError(ExecutionError):
+    """A parallel suite worker process died abruptly.
+
+    Raised by :mod:`repro.runtime.parallel` after every completed shard
+    checkpoint has been absorbed into the main manifest, so a
+    ``--resume`` rerun loses at most the circuits that were in flight.
+    The CLI maps it to the kill exit code
+    (:data:`repro.faultplane.plan.KILL_EXIT_CODE`) so the chaos restart
+    harness treats a killed worker like a killed process: restart and
+    resume.
+    """
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (unknown site, bad kind...)."""
 

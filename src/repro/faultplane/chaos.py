@@ -349,6 +349,9 @@ def run_chaos(config, plan: FaultPlan,
 
     card = ChaosScorecard(seed=plan.seed)
     card.tally_stats(injector.stats())
+    for stats in suite.fault_stats:
+        # workers > 1: each shard worker ran its own derived injector.
+        card.tally_stats(stats)
     card.tally_rows(suite.runs)
     card.tally_failures(suite.failures)
 
@@ -429,13 +432,15 @@ _RESUMED_RE = re.compile(r"^(?P<name>\S+): resumed from manifest")
 
 def table1_argv(circuits: list[str], manifest_path: str, *,
                 scale: float, seed: int = 0, frames: int = 15,
-                patterns: int = 256, extra: list[str] | None = None,
-                ) -> list[str]:
+                patterns: int = 256, workers: int = 1,
+                extra: list[str] | None = None) -> list[str]:
     """CLI argv for one resumable ``table1`` child run."""
     argv = ["table1", *circuits, "--scale", repr(scale),
             "--seed", str(seed), "--frames", str(frames),
             "--patterns", str(patterns), "--resume", manifest_path,
             "--verbose"]
+    if workers > 1:
+        argv.extend(["--workers", str(workers)])
     if extra:
         argv.extend(extra)
     return argv
@@ -566,7 +571,8 @@ def run_kill_chaos(config, plan: FaultPlan, workdir: str,
     manifest_path = os.path.join(workdir, "chaos-manifest.json")
     argv = table1_argv(list(config.circuits), manifest_path,
                        scale=config.scale, seed=config.seed,
-                       frames=config.n_frames, patterns=config.n_patterns)
+                       frames=config.n_frames, patterns=config.n_patterns,
+                       workers=config.workers)
     harness = restart_until_complete(argv, plan, manifest_path, workdir,
                                      max_restarts=max_restarts,
                                      progress=progress)

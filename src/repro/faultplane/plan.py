@@ -59,6 +59,11 @@ KILL_EXIT_CODE = 86
 ENV_PLAN = "REPRO_FAULT_PLAN"
 ENV_STATS = "REPRO_FAULT_STATS"
 
+#: Seed stride between the fault plans derived for parallel suite
+#: workers (any odd prime far from :data:`repro.runtime.suite`'s reseed
+#: stride works; it only needs to decorrelate the firing streams).
+SHARD_SEED_STRIDE = 7919
+
 
 class InjectedTransientError(RuntimeError):
     """An injected stochastic/transient failure (retryable)."""
@@ -160,6 +165,21 @@ class FaultPlan:
             raise FaultPlanError(f"fault plan is not valid JSON: {exc}") \
                 from exc
         return cls.from_dict(data)
+
+
+def derive_shard_plan(plan: FaultPlan, shard_index: int) -> FaultPlan:
+    """The plan a parallel suite worker runs under: same fault specs,
+    shard-decorrelated seed.
+
+    Worker ``shard_index`` gets ``seed + SHARD_SEED_STRIDE * (index+1)``
+    -- never the parent's own seed, so a probabilistic fault cannot fire
+    in lockstep with the parent's injector, while the whole fault
+    sequence of every process stays a pure function of the base seed
+    and the shard index (chaos failures remain replayable).
+    """
+    return FaultPlan(
+        seed=plan.seed + SHARD_SEED_STRIDE * (shard_index + 1),
+        faults=list(plan.faults))
 
 
 @dataclass
@@ -273,8 +293,12 @@ class FaultInjector:
 
     def _raise(self, spec: FaultSpec, site: str,
                event: InjectionEvent) -> None:
-        message = (f"injected {spec.kind} fault at site {site!r} "
-                   f"(call {event.call}, seed {self.plan.seed})")
+        # The message deliberately names only the fault, not the call
+        # count or plan seed: it ends up in FailureRecords and hence in
+        # manifests, where it must be identical however the visits were
+        # distributed (serial, sharded, resumed).  The injector-local
+        # provenance (call index, seed) lives in the event log.
+        message = f"injected {spec.kind} fault at site {site!r}"
         if spec.kind == "transient":
             raise InjectedTransientError(message)
         if spec.kind == "deadline":

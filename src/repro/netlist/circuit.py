@@ -262,6 +262,30 @@ class Circuit:
             "connections": n_edges,
         }
 
+    def fingerprint(self) -> str:
+        """A sha256 hex digest of the circuit's functional structure.
+
+        Covers everything the logic simulators depend on -- input order,
+        primary outputs, every gate (name, op, fanin order) and every
+        flip-flop (name, data net, initial state) in declaration order --
+        and nothing they do not (circuit name, cell-library timing).
+        Two circuits with equal fingerprints produce identical
+        simulation traces, which is what the observability memo cache
+        (:mod:`repro.runtime.suite`) keys on.
+        """
+        import hashlib
+        import json
+
+        body = {
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "gates": [(g.name, g.op, g.inputs)
+                      for g in self.gates.values()],
+            "dffs": [(f.name, f.d, f.init) for f in self.dffs.values()],
+        }
+        canonical = json.dumps(body, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def copy(self, name: str | None = None) -> "Circuit":
         """Deep-copy the circuit (shares the immutable cell library)."""
         other = Circuit(name or self.name, self.library)

@@ -20,6 +20,14 @@ callable implementing the stage at a decreasing level of fidelity
 is the debugging mode of the ``--strict`` CLI flag.  Only
 :class:`Exception` is caught -- ``KeyboardInterrupt`` / ``SystemExit``
 always abort the run (that is what checkpoint/resume is for).
+
+The executor is deliberately process-local: it holds no global state
+beyond the failure list its caller passes in, so the sharded-parallel
+suite (:mod:`repro.runtime.parallel`) runs one independent ladder per
+circuit inside each worker process -- per-stage deadlines, retries and
+degradations are enforced in-worker exactly as in a serial run, and the
+resulting :class:`FailureRecord` lists travel back to the parent inside
+the per-circuit records, preserving the serial failure ordering.
 """
 
 from __future__ import annotations

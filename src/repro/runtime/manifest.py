@@ -8,12 +8,13 @@ the manifest verbatim -- their stored rows are the exact dictionaries the
 report formatter consumes, so a resumed run reproduces a byte-identical
 final report.
 
-Schema (``format: repro-run-manifest``, version 2)::
+Schema (``format: repro-run-manifest``, version 3)::
 
     {
       "format": "repro-run-manifest",
-      "version": 2,
+      "version": 3,
       "checksum": "sha256:<hex>",             // over the canonical JSON
+      "result_checksum": "sha256:<hex>",      // wall-clock fields masked
       "config": { ...suite fingerprint (names, scale, seed, ...)... },
       "circuits": ["s13207", ...],            // planned order
       "completed": {
@@ -26,6 +27,21 @@ Schema (``format: repro-run-manifest``, version 2)::
         }, ...
       }
     }
+
+Two checksums serve two different claims.  ``checksum`` is the
+*integrity* digest over everything (minus the checksum fields
+themselves): it detects torn or corrupted files.  ``result_checksum``
+is the *determinism* digest: the same canonical JSON with every
+wall-clock field (record ``elapsed``, row ``ref_time``/``new_time``,
+report ``obs_runtime`` and per-algorithm ``runtime``, failure
+``elapsed``) masked to zero.  All result-determining quantities are
+pure functions of the suite configuration, so two runs of the same
+config -- serial, sharded-parallel at any worker count, or resumed
+after a crash -- produce the *same* ``result_checksum`` even though
+their timings (and hence their ``checksum``) differ.  The parallel
+executor (:mod:`repro.runtime.parallel`) leans on this: its
+determinism guarantee is stated and tested as result-checksum
+equality with a ``workers=1`` run.
 
 Durability protocol: the payload (checksum included) is written to a
 temp file in the target directory, the temp file is flushed and
@@ -56,18 +72,83 @@ from ..faultplane.hooks import fault_point, filter_bytes
 from .executor import FailureRecord
 
 MANIFEST_FORMAT = "repro-run-manifest"
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
+
+#: Checksum fields excluded from both digests (they describe the file,
+#: not the run).
+_CHECKSUM_KEYS = ("checksum", "result_checksum")
+
+#: Wall-clock fields of a Table I row (the only nondeterministic row
+#: columns; see :data:`repro.faultplane.chaos.TIME_FIELDS`).
+_ROW_TIME_FIELDS = ("ref_time", "new_time")
+#: Wall-clock fields of a flattened report (see
+#: :func:`repro.reporting.result_to_dict`).
+_REPORT_TIME_FIELDS = ("obs_runtime",)
 
 
-def manifest_checksum(payload: dict[str, Any]) -> str:
-    """Checksum of a manifest payload: ``"sha256:<hex>"`` over the
-    canonical JSON serialization (sorted keys, compact separators) with
-    the ``checksum`` field itself excluded."""
-    body = {key: value for key, value in payload.items()
-            if key != "checksum"}
+def _canonical_digest(body: dict[str, Any]) -> str:
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
     return f"sha256:{digest}"
+
+
+def manifest_checksum(payload: dict[str, Any]) -> str:
+    """Integrity checksum: ``"sha256:<hex>"`` over the canonical JSON
+    serialization (sorted keys, compact separators) with the checksum
+    fields themselves excluded."""
+    body = {key: value for key, value in payload.items()
+            if key not in _CHECKSUM_KEYS}
+    return _canonical_digest(body)
+
+
+def mask_volatile(payload: dict[str, Any]) -> dict[str, Any]:
+    """A deep copy of a manifest payload with every wall-clock field
+    masked to zero.
+
+    Masked fields: per-record ``elapsed``, row ``ref_time``/``new_time``,
+    report ``obs_runtime`` and per-algorithm ``runtime``, and the
+    ``elapsed`` of every stored failure record.  Everything else --
+    including failure *messages*, degradation statuses and solver
+    iteration counts -- is deterministic given the configuration and is
+    left untouched.  (Deadline-bearing configs are inherently
+    nondeterministic: an expiry changes statuses, not just timings, and
+    no masking can hide that.)
+    """
+    masked = json.loads(json.dumps(payload))  # cheap deep copy
+    for key in _CHECKSUM_KEYS:
+        masked.pop(key, None)
+    for record in masked.get("completed", {}).values():
+        if not isinstance(record, dict):
+            continue
+        if "elapsed" in record:
+            record["elapsed"] = 0.0
+        row = record.get("row")
+        if isinstance(row, dict):
+            for field_name in _ROW_TIME_FIELDS:
+                if field_name in row:
+                    row[field_name] = 0.0
+        report = record.get("report")
+        if isinstance(report, dict):
+            for field_name in _REPORT_TIME_FIELDS:
+                if field_name in report:
+                    report[field_name] = 0.0
+            for entry in report.get("algorithms", {}).values():
+                if isinstance(entry, dict) and "runtime" in entry:
+                    entry["runtime"] = 0.0
+            for failure in report.get("failures", []):
+                if isinstance(failure, dict) and "elapsed" in failure:
+                    failure["elapsed"] = 0.0
+        for failure in record.get("failures", []):
+            if isinstance(failure, dict) and "elapsed" in failure:
+                failure["elapsed"] = 0.0
+    return masked
+
+
+def result_checksum(payload: dict[str, Any]) -> str:
+    """Determinism checksum: the integrity digest of the time-masked
+    payload (see :func:`mask_volatile`).  Stable across reruns, resumes
+    and worker counts of the same configuration."""
+    return _canonical_digest(mask_volatile(payload))
 
 
 #: Required top-level manifest fields and their types (beyond the
@@ -169,7 +250,12 @@ class RunManifest:
                           for name, rec in self.completed.items()},
         }
         payload["checksum"] = manifest_checksum(payload)
+        payload["result_checksum"] = result_checksum(payload)
         return payload
+
+    def result_digest(self) -> str:
+        """The determinism digest of the current in-memory state."""
+        return result_checksum(self.payload())
 
     def save(self, path: str | os.PathLike[str]) -> None:
         """Durably and atomically write the manifest.
@@ -243,6 +329,13 @@ class RunManifest:
                 f"{path!r} fails its integrity check (stored {stored}, "
                 f"computed {expected}); the file is torn or corrupted -- "
                 f"delete it to restart the run from scratch")
+        stored_result = payload.get("result_checksum")
+        if isinstance(stored_result, str) and \
+                stored_result != result_checksum(payload):
+            raise ManifestError(
+                f"{path!r} fails its result-determinism check; the "
+                f"completed records were altered after the checksum was "
+                f"written -- delete it to restart the run from scratch")
         _validate_schema(payload, path)
         manifest = cls(config=dict(payload["config"]),
                        circuits=list(payload["circuits"]))
@@ -268,18 +361,40 @@ class RunManifest:
         """Planned circuits not yet completed, in order."""
         return [n for n in self.circuits if n not in self.completed]
 
-    def check_config(self, config: dict[str, Any]) -> None:
+    def absorb(self, other: "RunManifest") -> list[str]:
+        """Merge another manifest's completed records into this one.
+
+        Used by the parallel executor to fold worker *shard* manifests
+        into the main run manifest: ``other`` must have been written by
+        the same experiment configuration (every fingerprint key except
+        ``circuits`` -- a shard's planned list is a subset by design).
+        Only records for circuits this manifest plans and has not yet
+        completed are taken; returns their names in this manifest's
+        canonical order.
+        """
+        self.check_config(other.config, ignore=("circuits",))
+        absorbed = [name for name in self.circuits
+                    if name not in self.completed
+                    and name in other.completed]
+        for name in absorbed:
+            self.completed[name] = other.completed[name]
+        return absorbed
+
+    def check_config(self, config: dict[str, Any],
+                     ignore: tuple[str, ...] = ()) -> None:
         """Reject resumption under a different experiment configuration.
 
         Only keys present in *both* fingerprints are compared, so adding
         a new knob in a later version does not invalidate old manifests;
         resilience knobs (deadline, retries) are deliberately excluded
         from fingerprints by the caller -- they do not change results,
-        only how failures are handled.
+        only how failures are handled.  ``ignore`` names fingerprint
+        keys exempt from the comparison (the shard-absorption path
+        ignores ``circuits``).
         """
         mismatched = {key: (self.config[key], config[key])
                       for key in self.config.keys() & config.keys()
-                      if self.config[key] != config[key]}
+                      if key not in ignore and self.config[key] != config[key]}
         if mismatched:
             detail = "; ".join(
                 f"{key}: manifest={old!r}, requested={new!r}"

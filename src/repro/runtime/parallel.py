@@ -1,0 +1,395 @@
+"""Sharded parallel suite execution with a deterministic merge.
+
+:func:`run_parallel_suite` is the ``workers > 1`` back end of
+:func:`repro.runtime.suite.run_suite`.  It partitions the pending
+circuits into per-worker *shards* (longest-job-first by a cheap
+|V|*|E| size estimate from the published Table I statistics), runs each
+shard through the ordinary serial ``run_suite`` -- retry ladder,
+per-circuit deadlines, crash isolation and all -- inside a
+``ProcessPoolExecutor`` worker, and merges the results back into the
+main run manifest in canonical circuit order.
+
+Determinism contract
+--------------------
+Every result-determining quantity of a suite run is a pure function of
+the :class:`~repro.runtime.suite.SuiteConfig`, computed independently
+per circuit; sharding only changes *where* each circuit is computed.
+The merge therefore reproduces the exact serial rows, records and
+failure lists, and the merged manifest's ``result_checksum`` (the
+time-masked digest, see :mod:`repro.runtime.manifest`) is identical to
+a ``workers=1`` run's.  Progress lines are not streamed as they happen:
+workers tag each line with its circuit and batch them into the shard's
+return payload, and the parent buffers them per circuit and emits them
+strictly in canonical circuit order, each circuit only after its record
+is durably merged -- so the observable progress log of a parallel run
+is a deterministic reordering of the serial one, never an interleaving.
+(No live progress channel exists on purpose: a queue broker would
+outlive a hard-killed parent and hold its stdio pipes open, hanging any
+supervisor that waits for the parent's output.)
+
+Crash consistency
+-----------------
+Each worker checkpoints its shard to a sibling file of the main
+manifest (``<manifest>.shard-NN.json``) using the same atomic
+fsync+rename protocol.  The parent folds shards into the main manifest
+when a shard finishes, and *absorbs* any leftover shard files both at
+startup (a previous parent died) and when the process pool breaks (a
+worker died -- e.g. an injected ``kill`` fault), so a ``--resume`` rerun
+loses at most the circuits that were mid-flight.  A broken pool is
+reported as :class:`~repro.errors.WorkerCrashError` *after* the salvage,
+and the CLI maps it to the kill exit code so the chaos restart harness
+treats it like any other crash: restart, resume, converge.
+
+Fault-plane composition
+-----------------------
+A fault plan installed in the parent (``REPRO_FAULT_PLAN`` or
+:func:`repro.faultplane.hooks.install`) propagates into every worker:
+the worker discards the injector state inherited across ``fork`` and
+installs a fresh injector running the same fault specs under a
+shard-derived seed (:func:`repro.faultplane.plan.derive_shard_plan`),
+so probabilistic faults decorrelate across shards while the whole fault
+sequence stays a pure function of (plan seed, shard index).  Worker
+injector stats return to the parent in
+:attr:`~repro.runtime.suite.SuiteResult.fault_stats` for the chaos
+scorecard.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Any
+
+from ..circuits.suites import TABLE1_ROWS
+from ..errors import ExecutionError, ManifestError, WorkerCrashError
+from ..faultplane import hooks
+from ..faultplane.plan import FaultInjector, FaultPlan, derive_shard_plan
+from ..netlist.circuit import Circuit
+from .manifest import CircuitRecord, RunManifest
+from .suite import CircuitRun, SuiteConfig, SuiteResult
+
+#: |V| * |E| of each Table I row (paper statistics) -- the shard cost
+#: model.  The generator scales both counts linearly, so the product
+#: preserves the relative ordering at every scale.
+_COSTS: dict[str, int] = {row.name: row.vertices * row.edges
+                          for row in TABLE1_ROWS}
+
+
+def estimate_cost(name: str) -> int:
+    """Cheap relative cost estimate of one suite circuit.
+
+    ``|V| * |E|`` from the published Table I statistics; circuits not in
+    the catalog (custom ``circuit_factory`` runs) rank as cost 0, which
+    degrades the longest-job-first heuristic to balanced round-robin --
+    still deterministic, just less informed.
+    """
+    return _COSTS.get(name, 0)
+
+
+def partition_lpt(names: list[str], workers: int,
+                  cost: Callable[[str], int] = estimate_cost,
+                  ) -> list[list[str]]:
+    """Longest-processing-time-first partition into at most ``workers``
+    shards.
+
+    Circuits are placed one at a time, most expensive first (ties broken
+    by canonical position), each onto the currently lightest shard (ties
+    broken by lowest shard index) -- the classic LPT greedy, within 4/3
+    of the optimal makespan.  Within each shard the canonical order is
+    restored, and empty shards are dropped.  Fully deterministic.
+    """
+    k = min(workers, len(names))
+    if k <= 0:
+        return []
+    position = {name: index for index, name in enumerate(names)}
+    ranked = sorted(names, key=lambda n: (-cost(n), position[n]))
+    shards: list[list[str]] = [[] for _ in range(k)]
+    loads = [0] * k
+    for name in ranked:
+        lightest = min(range(k), key=lambda j: (loads[j], j))
+        shards[lightest].append(name)
+        loads[lightest] += max(cost(name), 1)
+    return [sorted(shard, key=position.__getitem__)
+            for shard in shards if shard]
+
+
+def shard_path(manifest_path: str, shard_index: int) -> str:
+    """Checkpoint file of one worker shard (sibling of the manifest)."""
+    return f"{manifest_path}.shard-{shard_index:02d}.json"
+
+
+def shard_paths(manifest_path: str) -> list[str]:
+    """Existing shard checkpoint files of a manifest, sorted."""
+    return sorted(glob.glob(glob.escape(manifest_path) + ".shard-*.json"))
+
+
+def absorb_shard_files(manifest: RunManifest, manifest_path: str,
+                       ) -> list[str]:
+    """Fold every on-disk shard checkpoint into the main manifest.
+
+    Loadable shards are absorbed (the main manifest is saved *before*
+    any shard file is deleted, so a crash mid-absorb never loses a
+    record); torn shards are deleted -- they hold only the in-flight
+    write a dying worker failed to complete, which the shard protocol
+    already guarantees is the sole possible loss.  Returns the absorbed
+    circuit names in canonical order.
+    """
+    absorbed: list[str] = []
+    loadable: list[str] = []
+    for path in shard_paths(manifest_path):
+        try:
+            shard = RunManifest.load(path)
+        except ManifestError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            continue
+        absorbed.extend(manifest.absorb(shard))
+        loadable.append(path)
+    if absorbed:
+        manifest.save(manifest_path)
+    for path in loadable:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return absorbed
+
+
+def _parent_watchdog(parent_pid: int, poll_seconds: float = 1.0) -> None:
+    """Exit hard as soon as this process is orphaned.
+
+    A pool worker must never outlive its parent: if the parent dies
+    without cleanup (SIGKILL, ``os._exit`` from an injected kill fault),
+    idle workers stay blocked on the pool's call-queue pipe forever --
+    every worker inherited every other worker's write end across
+    ``fork``, so the EOF that would wake them never comes -- and the
+    zombies keep the parent's stdio pipes open, hanging any supervisor
+    that waits for the run's output.  Polling ``getppid`` is the
+    portable way out: reparenting (to init or a subreaper) means the
+    parent is gone, and ``os._exit`` skips the very cleanup handlers a
+    half-dead pool can deadlock in.
+    """
+    while os.getppid() == parent_pid:
+        time.sleep(poll_seconds)
+    os._exit(1)
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: start the orphan watchdog."""
+    import threading
+
+    threading.Thread(target=_parent_watchdog, args=(os.getppid(),),
+                     daemon=True).start()
+
+
+def _shard_worker(shard_index: int, names: tuple[str, ...],
+                  config: SuiteConfig, shard_manifest: str | None,
+                  circuit_factory: Callable[[str], Circuit] | None,
+                  plan_json: str | None, stats_path: str | None,
+                  ) -> dict[str, Any]:
+    """Run one shard in a worker process (module-level: must pickle).
+
+    Discards any injector state inherited across ``fork`` and, when the
+    parent ran under a fault plan, installs a fresh injector on the
+    shard-derived seed.  Progress lines, completed records and injector
+    stats all travel back as plain data in the return value -- no live
+    channel to the parent.  A live queue would need a broker (a
+    ``multiprocessing.Manager`` server or a feeder thread) that outlives
+    a hard-killed parent and keeps its inherited stdio pipes open,
+    deadlocking any supervisor that waits for the parent's output; the
+    parent only surfaces lines after a shard's records are durably
+    merged anyway, so nothing is lost by batching them.
+    """
+    from .suite import run_suite  # deferred: avoid import-time cycle
+
+    hooks.uninstall()  # forked copy of the parent's injector, if any
+    injector = None
+    if plan_json is not None:
+        plan = derive_shard_plan(FaultPlan.from_json(plan_json),
+                                 shard_index)
+        injector = FaultInjector(plan, stats_path=stats_path)
+        hooks.install(injector)
+
+    lines: list[tuple[str, str]] = []
+
+    def push(circuit: str, line: str) -> None:
+        lines.append((circuit, line))
+
+    try:
+        shard_config = replace(config, circuits=tuple(names), workers=1)
+        result = run_suite(shard_config, manifest_path=shard_manifest,
+                           circuit_factory=circuit_factory, workers=1,
+                           progress_events=push)
+    finally:
+        if injector is not None:
+            injector.flush_stats()
+            hooks.uninstall()
+    return {
+        "shard": shard_index,
+        "records": [(run.name, run.to_record().to_dict())
+                    for run in result.runs],
+        "lines": lines,
+        "fault_stats": injector.stats() if injector is not None else None,
+    }
+
+
+def run_parallel_suite(config: SuiteConfig,
+                       manifest_path: str | None = None,
+                       progress: Callable[[str], None] | None = None,
+                       progress_events: Callable[[str, str], None] | None
+                       = None,
+                       circuit_factory: Callable[[str], Circuit] | None
+                       = None,
+                       workers: int = 2) -> SuiteResult:
+    """Sharded-parallel :func:`repro.runtime.suite.run_suite`.
+
+    Same contract as the serial path -- resumable manifest, per-circuit
+    crash isolation, progress callbacks -- plus the determinism, crash
+    consistency and fault-plane guarantees documented in the module
+    docstring.  ``circuit_factory`` must be picklable (a module-level
+    function); a closure raises :class:`~repro.errors.ExecutionError`
+    up front rather than a cryptic pool failure mid-run.
+    """
+    if circuit_factory is not None:
+        try:
+            pickle.dumps(circuit_factory)
+        except Exception as exc:
+            raise ExecutionError(
+                f"workers={workers} requires a picklable circuit_factory "
+                f"(a module-level function, not a lambda or closure); "
+                f"got {circuit_factory!r}: {exc}") from exc
+
+    def note(circuit: str, message: str) -> None:
+        if progress is not None:
+            progress(message)
+        if progress_events is not None:
+            progress_events(circuit, message)
+
+    # ---- manifest: load-or-create, then salvage stale shard files ----
+    manifest: RunManifest | None = None
+    if manifest_path is not None:
+        if os.path.exists(manifest_path):
+            manifest = RunManifest.load(manifest_path)
+            manifest.check_config(config.fingerprint())
+        else:
+            manifest = RunManifest(config=config.fingerprint(),
+                                   circuits=list(config.circuits))
+            manifest.save(manifest_path)
+        absorb_shard_files(manifest, manifest_path)
+
+    records: dict[str, CircuitRecord] = \
+        dict(manifest.completed) if manifest is not None else {}
+    resumed = set(records)
+    for name in config.circuits:
+        if name in resumed:
+            note(name, f"{name}: resumed from manifest "
+                 f"({records[name].status})")
+    pending = [name for name in config.circuits if name not in records]
+
+    stats_by_shard: dict[int, dict[str, Any]] = {}
+    if pending:
+        shards = partition_lpt(pending, workers)
+
+        # Parent fault plan (if any) propagates with derived seeds.
+        parent_injector = hooks.active()
+        plan_json = parent_injector.plan.to_json() \
+            if parent_injector is not None else None
+        stats_path = getattr(parent_injector, "stats_path", None) \
+            if parent_injector is not None else None
+
+        #: Worker progress lines, buffered per circuit until the emit
+        #: frontier (canonical order over ``pending``) reaches them.
+        buffers: dict[str, list[str]] = {name: [] for name in pending}
+        closed: set[str] = set()
+        emit_index = 0
+
+        executor = ProcessPoolExecutor(max_workers=len(shards),
+                                       initializer=_worker_init)
+        try:
+            futures = {}
+            for index, shard in enumerate(shards):
+                target = shard_path(manifest_path, index) \
+                    if manifest_path is not None else None
+                future = executor.submit(
+                    _shard_worker, index, tuple(shard), config, target,
+                    circuit_factory, plan_json, stats_path)
+                futures[future] = (index, shard)
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in sorted(done, key=lambda f: futures[f][0]):
+                    index, shard = futures[future]
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as exc:
+                        salvaged: list[str] = []
+                        if manifest is not None:
+                            salvaged = absorb_shard_files(manifest,
+                                                          manifest_path)
+                        raise WorkerCrashError(
+                            f"suite worker died while running shard "
+                            f"{index} ({', '.join(shard)}); "
+                            f"{len(salvaged)} in-flight checkpointed "
+                            f"circuit(s) were salvaged into the "
+                            f"manifest -- rerun with --resume to "
+                            f"continue") from exc
+                    for name, data in payload["records"]:
+                        record = CircuitRecord.from_dict(name, data)
+                        records[name] = record
+                        closed.add(name)
+                        if manifest is not None:
+                            manifest.record(record)
+                    for circuit, line in payload["lines"]:
+                        buffers.setdefault(circuit, []).append(line)
+                    if payload["fault_stats"] is not None:
+                        stats_by_shard[index] = payload["fault_stats"]
+                    if manifest is not None:
+                        try:
+                            manifest.save(manifest_path)
+                        except OSError as exc:
+                            # Advisory, exactly like the serial path: a
+                            # full disk must not kill the run.
+                            if config.strict:
+                                raise
+                            note(shard[0],
+                                 f"warning: checkpoint save failed "
+                                 f"({exc}); continuing without "
+                                 f"checkpoint")
+                        else:
+                            target = shard_path(manifest_path, index)
+                            try:
+                                os.unlink(target)
+                            except OSError:
+                                pass
+                    # Emit buffered lines, canonical order only, and
+                    # only after the records are durably merged -- a
+                    # surfaced "computed" line is a kept promise.
+                    while emit_index < len(pending) and \
+                            pending[emit_index] in closed:
+                        name = pending[emit_index]
+                        for line in buffers.get(name, []):
+                            note(name, line)
+                        emit_index += 1
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    runs: list[CircuitRun] = []
+    for name in config.circuits:
+        record = records.get(name)
+        if record is None:
+            continue  # unreachable on the success path
+        run = CircuitRun.from_record(record)
+        run.resumed = name in resumed
+        runs.append(run)
+    fault_stats = [stats_by_shard[index]
+                   for index in sorted(stats_by_shard)]
+    return SuiteResult(runs=runs, fault_stats=fault_stats)

@@ -28,6 +28,7 @@ byte-identical to freshly computed ones); the wall-clock ``t_ref`` /
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
@@ -35,6 +36,7 @@ from typing import Any
 from ..core.initialization import InitialRetiming, initialize
 from ..core.minobswin import RetimingResult
 from ..errors import DeadlineExceeded
+from ..faultplane import hooks
 from ..faultplane.hooks import fault_point
 from ..graph.retiming_graph import RetimingGraph
 from ..graph.timing import achieved_period
@@ -52,6 +54,49 @@ from .manifest import CircuitRecord, RunManifest
 #: Seed stride between observability reseed attempts (any odd prime-ish
 #: constant works; it only needs to decorrelate the pattern streams).
 RESEED_STRIDE = 1009
+
+#: Entries kept by the per-process observability memo cache.
+OBS_CACHE_SIZE = 32
+
+#: The per-process (hence, in parallel runs, per-worker) memo cache for
+#: the observability-simulation stage: ``(circuit fingerprint, frames,
+#: patterns, seed) -> (obs, runtime)``.  Observabilities are
+#: retiming-invariant and deterministic given those four keys, so any
+#: repeat computation -- the clean reference run of a chaos double-run,
+#: a golden-file regeneration, back-to-back determinism checks -- is a
+#: pure waste of the dominant simulation cost.
+_OBS_CACHE: OrderedDict[tuple[str, int, int, int],
+                        tuple[dict[str, float], float]] = OrderedDict()
+
+
+def clear_obs_cache() -> None:
+    """Drop every memoized observability result (test isolation hook)."""
+    _OBS_CACHE.clear()
+
+
+def cached_observability(circuit: Circuit, n_frames: int, n_patterns: int,
+                         seed: int) -> tuple[dict[str, float], float]:
+    """Memoizing front of :func:`repro.pipeline.compute_observability`.
+
+    Bypassed entirely (no read, no write) while a fault injector is
+    installed: chaos runs must visit the ``sim.observability`` injection
+    site on every attempt, and results computed under an armed plan must
+    never leak into clean runs.
+    """
+    if hooks.active() is not None:
+        return compute_observability(circuit, n_frames=n_frames,
+                                     n_patterns=n_patterns, seed=seed)
+    key = (circuit.fingerprint(), n_frames, n_patterns, seed)
+    hit = _OBS_CACHE.get(key)
+    if hit is not None:
+        _OBS_CACHE.move_to_end(key)
+        return hit
+    value = compute_observability(circuit, n_frames=n_frames,
+                                  n_patterns=n_patterns, seed=seed)
+    _OBS_CACHE[key] = value
+    while len(_OBS_CACHE) > OBS_CACHE_SIZE:
+        _OBS_CACHE.popitem(last=False)
+    return value
 
 
 @dataclass(frozen=True)
@@ -83,6 +128,11 @@ class SuiteConfig:
     guard: bool = True
     guard_cycles: int = 8
     guard_patterns: int = 32
+    #: Worker processes for :func:`run_suite` (1 = in-process serial).
+    #: An execution knob like ``deadline``: the sharded-parallel path
+    #: produces a manifest with the same ``result_checksum`` as a serial
+    #: run, so the worker count never enters the fingerprint.
+    workers: int = 1
 
     def fingerprint(self) -> dict[str, Any]:
         """The result-determining configuration, for manifest matching."""
@@ -138,6 +188,9 @@ class SuiteResult:
     """Everything a resilient suite run produced."""
 
     runs: list[CircuitRun]
+    #: Fault-injection stats collected from worker processes (parallel
+    #: runs only; each entry is one worker injector's ``stats()`` dict).
+    fault_stats: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def rows(self) -> list[dict[str, Any]]:
@@ -237,9 +290,9 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
     hold = circuit.library.hold_time
 
     def run_stages() -> CircuitRun:
-        # ---- stage 2: observability (retry-with-reseed) --------------
+        # ---- stage 2: observability (retry-with-reseed, memoized) ----
         def sim_obs(ctx: Attempt):
-            return compute_observability(
+            return cached_observability(
                 circuit, n_frames=config.n_frames,
                 n_patterns=config.n_patterns,
                 seed=config.seed + RESEED_STRIDE * ctx.attempt)
@@ -362,6 +415,8 @@ def run_suite(config: SuiteConfig,
               manifest_path: str | None = None,
               progress: Callable[[str], None] | None = None,
               circuit_factory: Callable[[str], Circuit] | None = None,
+              workers: int | None = None,
+              progress_events: Callable[[str, str], None] | None = None,
               ) -> SuiteResult:
     """Run a benchmark suite with crash isolation and checkpointing.
 
@@ -384,7 +439,27 @@ def run_suite(config: SuiteConfig,
         Maps a circuit name to a :class:`Circuit`; defaults to the
         Table I suite generator at ``config.scale`` / ``config.seed``.
         A factory exception is handled like any other circuit failure.
+    workers:
+        Worker-process count; overrides ``config.workers`` when given.
+        Any value above 1 (with at least two circuits to run) delegates
+        to the sharded executor of :mod:`repro.runtime.parallel`, which
+        produces the same rows and a manifest with the same
+        ``result_checksum`` as the serial path.
+    progress_events:
+        Optional structured progress callback ``(circuit_name, line)``;
+        receives the same lines as ``progress`` tagged with the circuit
+        they belong to (the parallel executor's ordered-drain feed).
     """
+    n_workers = config.workers if workers is None else workers
+    if n_workers > 1 and len(config.circuits) > 1:
+        from .parallel import run_parallel_suite
+
+        return run_parallel_suite(config, manifest_path=manifest_path,
+                                  progress=progress,
+                                  progress_events=progress_events,
+                                  circuit_factory=circuit_factory,
+                                  workers=n_workers)
+
     if circuit_factory is None:
         from ..circuits.suites import table1_circuit
 
@@ -404,16 +479,18 @@ def run_suite(config: SuiteConfig,
                                    circuits=list(config.circuits))
             manifest.save(manifest_path)
 
-    def note(message: str) -> None:
+    def note(circuit: str, message: str) -> None:
         if progress is not None:
             progress(message)
+        if progress_events is not None:
+            progress_events(circuit, message)
 
     runs: list[CircuitRun] = []
     for name in config.circuits:
         if manifest is not None and manifest.is_complete(name):
             run = CircuitRun.from_record(manifest.completed[name])
             runs.append(run)
-            note(f"{name}: resumed from manifest ({run.status})")
+            note(name, f"{name}: resumed from manifest ({run.status})")
             continue
         t0 = time.perf_counter()
         try:
@@ -443,9 +520,9 @@ def run_suite(config: SuiteConfig,
                 # so the next successful save repairs the file.
                 if config.strict:
                     raise
-                note(f"warning: checkpoint save failed ({exc}); "
+                note(name, f"warning: checkpoint save failed ({exc}); "
                      f"continuing without checkpoint")
             else:
                 fault_point("suite.checkpoint", circuit=name)
-        note(f"{name}: {run.status} ({run.elapsed:.2f}s)")
+        note(name, f"{name}: {run.status} ({run.elapsed:.2f}s)")
     return SuiteResult(runs=runs)

@@ -1,0 +1,212 @@
+"""Metamorphic invariants of the solver core.
+
+Each test states a relation that must hold between two runs (or between
+a run and its own intermediate state) without knowing the correct output
+itself:
+
+* retiming-label algebra: ``w_r(u, v) = w(u, v) + r(v) - r(u) >= 0`` on
+  every edge of every accepted solution;
+* monotonicity: the MinObsWin objective is never worse than the value of
+  its own Sec. V initialization;
+* representation invariance: renaming internal nets or reordering the
+  netlist's element declarations changes neither the SER analysis nor
+  the register movement the solvers find;
+* composition: c-slowing then retiming preserves sequential behaviour.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_sequential_circuit, toy_correlator
+from repro.core.initialization import initialize
+from repro.graph.retiming_graph import RetimingGraph
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import validate_circuit
+from repro.pipeline import (build_problem, compute_observability,
+                            optimize_circuit, rebuild_retimed_states,
+                            run_solver, table1_row)
+from repro.retime.cslow import c_slow, check_cslow_equivalence
+from repro.retime.verify import (check_cycle_weights,
+                                 check_sequential_equivalence)
+
+SIM = dict(n_frames=3, n_patterns=64, seed=0)
+
+
+def metamorphic_circuit(seed: int, n_gates: int = 36,
+                        n_dffs: int = 12) -> Circuit:
+    return random_sequential_circuit(
+        f"meta{seed}", n_gates=n_gates, n_dffs=n_dffs, n_inputs=4,
+        n_outputs=4, seed=seed)
+
+
+def rename_internal(circuit: Circuit, prefix: str = "rn_") -> Circuit:
+    """Rebuild ``circuit`` with every internal net renamed.
+
+    The prefix is uniform, so both the insertion order and the relative
+    sorted order of internal nets are preserved -- the rename is purely
+    a change of labels, never of any iteration order a simulation might
+    depend on.
+    """
+    mapping = {name: prefix + name
+               for name in list(circuit.gates) + list(circuit.dffs)}
+    rebuilt = Circuit(circuit.name + "_renamed", library=circuit.library)
+    for pi in circuit.inputs:
+        rebuilt.add_input(pi)
+    for gate in circuit.gates.values():
+        rebuilt.add_gate(mapping[gate.name], gate.op,
+                         [mapping.get(net, net) for net in gate.inputs])
+    for dff in circuit.dffs.values():
+        rebuilt.add_dff(mapping[dff.name], mapping.get(dff.d, dff.d),
+                        init=dff.init)
+    for po in circuit.outputs:
+        rebuilt.add_output(mapping.get(po, po))
+    return rebuilt
+
+
+def reorder_elements(circuit: Circuit) -> Circuit:
+    """Rebuild ``circuit`` with gates and flip-flops declared in reverse.
+
+    Net names are untouched; only the declaration (and hence edge
+    enumeration) order changes.  Forward references are legal in the
+    netlist builder, so any permutation is a valid declaration order.
+    """
+    rebuilt = Circuit(circuit.name + "_reordered",
+                      library=circuit.library)
+    for pi in circuit.inputs:
+        rebuilt.add_input(pi)
+    for dff in reversed(list(circuit.dffs.values())):
+        rebuilt.add_dff(dff.name, dff.d, init=dff.init)
+    for gate in reversed(list(circuit.gates.values())):
+        rebuilt.add_gate(gate.name, gate.op, list(gate.inputs))
+    for po in circuit.outputs:
+        rebuilt.add_output(po)
+    return rebuilt
+
+
+class TestRetimingLabelAlgebra:
+    """w_r(u,v) = w(u,v) + r(v) - r(u), nonnegative on accepted labels."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_every_edge_of_every_accepted_solution(self, seed):
+        circuit = metamorphic_circuit(seed)
+        result = optimize_circuit(circuit, **SIM)
+        graph = RetimingGraph.from_circuit(circuit)
+        for outcome in result.outcomes.values():
+            r = outcome.result.r
+            assert r[0] == 0  # the host never moves
+            weights = graph.retimed_weights(r)
+            for eidx, edge in enumerate(graph.edges):
+                w_r = edge.w + int(r[edge.v]) - int(r[edge.u])
+                assert w_r == int(weights[eidx])
+                assert w_r >= 0
+            graph.validate_retiming(r)  # the library's own check agrees
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_cycle_register_counts_conserved(self, seed):
+        circuit = metamorphic_circuit(seed)
+        result = optimize_circuit(circuit, **SIM)
+        graph = RetimingGraph.from_circuit(circuit)
+        for outcome in result.outcomes.values():
+            assert check_cycle_weights(graph, outcome.result.r)
+
+
+class TestObjectiveMonotonicity:
+    """The solvers may only improve on their initialization."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("algorithm", ["minobs", "minobswin"])
+    def test_never_worse_than_initialization(self, seed, algorithm):
+        circuit = metamorphic_circuit(seed)
+        graph = RetimingGraph.from_circuit(circuit)
+        obs, _ = compute_observability(circuit, **SIM)
+        setup = circuit.library.setup_time
+        hold = circuit.library.hold_time
+        init = initialize(graph, setup, hold, 0.10)
+        problem = build_problem(graph, init, obs, SIM["n_patterns"],
+                                setup, hold)
+        solved = run_solver(problem, init.r0, algorithm)
+        assert problem.objective(solved.r) >= problem.objective(init.r0)
+        # the reported objective is the recomputable one
+        assert solved.objective == problem.objective(solved.r)
+
+
+class TestRepresentationInvariance:
+    """SER and register movement depend on structure, not on labels."""
+
+    def deltas(self, result):
+        row = table1_row(result)
+        return {alias: row[f"{alias}_ff"] - row["FF"]
+                for alias in ("ref", "new")}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gate_renaming_leaves_ser_and_dff_unchanged(self, seed):
+        circuit = metamorphic_circuit(seed)
+        renamed = rename_internal(circuit)
+        validate_circuit(renamed)
+        assert circuit.fingerprint() != renamed.fingerprint()  # really renamed
+        base = optimize_circuit(circuit, **SIM)
+        other = optimize_circuit(renamed, **SIM)
+        # identical insertion order -> identical float schedules: exact
+        assert base.ser_original.total == other.ser_original.total
+        for key in base.outcomes:
+            assert base.outcomes[key].ser.total == \
+                other.outcomes[key].ser.total
+        assert self.deltas(base) == self.deltas(other)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_element_reordering_leaves_ser_and_dff_unchanged(self, seed):
+        circuit = metamorphic_circuit(seed)
+        shuffled = reorder_elements(circuit)
+        validate_circuit(shuffled)
+        base = optimize_circuit(circuit, **SIM)
+        other = optimize_circuit(shuffled, **SIM)
+        # per-element terms are identical but summation order is not:
+        # compare to a tight relative tolerance
+        assert math.isclose(base.ser_original.total,
+                            other.ser_original.total, rel_tol=1e-9)
+        for key in base.outcomes:
+            assert math.isclose(base.outcomes[key].ser.total,
+                                other.outcomes[key].ser.total,
+                                rel_tol=1e-9)
+        assert self.deltas(base) == self.deltas(other)
+
+
+class TestCSlowComposition:
+    """c-slow then retime: both steps preserve sequential behaviour."""
+
+    @pytest.mark.parametrize("c", [2, 3])
+    def test_cslow_stream_equivalence(self, c):
+        circuit = toy_correlator()
+        slowed = c_slow(circuit, c)
+        assert slowed.n_dffs == c * circuit.n_dffs
+        assert check_cslow_equivalence(circuit, slowed, c)
+
+    def test_cslow_then_retime_preserves_behavior(self):
+        checked = 0
+        for seed in (0, 1, 2, 3):
+            circuit = metamorphic_circuit(seed, n_gates=24, n_dffs=6)
+            slowed = c_slow(circuit, 2)
+            assert check_cslow_equivalence(circuit, slowed, 2)
+            graph = RetimingGraph.from_circuit(slowed)
+            setup = slowed.library.setup_time
+            hold = slowed.library.hold_time
+            obs, _ = compute_observability(slowed, **SIM)
+            init = initialize(graph, setup, hold, 0.10)
+            problem = build_problem(graph, init, obs, SIM["n_patterns"],
+                                    setup, hold)
+            solved = run_solver(problem, init.r0, "minobswin")
+            assert check_cycle_weights(graph, solved.r)
+            retimed, exact = rebuild_retimed_states(slowed, graph,
+                                                    solved.r)
+            validate_circuit(retimed)
+            if not (exact and np.all(solved.r <= 0)):
+                continue  # no exact initial states: only a flush-period
+                # equivalence holds, which co-simulation cannot observe
+            equal, cycle = check_sequential_equivalence(
+                slowed, retimed, cycles=24, n_patterns=64)
+            assert equal, f"seed {seed}: mismatch at cycle {cycle}"
+            checked += 1
+        # the property must actually have been exercised
+        assert checked >= 1

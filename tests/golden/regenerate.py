@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate the golden-manifest fixture.
+
+Usage (from the repository root, no environment setup needed):
+
+    python tests/golden/regenerate.py
+
+Reruns the pinned golden configuration (see ``golden_config.py``)
+through the serial suite runner and overwrites
+``tests/golden/expected_manifest.json`` in place.  Only do this after an
+*intentional* change to solver or simulation behaviour, and commit the
+refreshed fixture together with that change.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+
+def main() -> int:
+    from tests.golden.golden_config import FIXTURE_PATH, golden_config
+
+    from repro.runtime.manifest import RunManifest
+    from repro.runtime.suite import run_suite
+
+    config = golden_config()
+    # a stale fixture would be resumed (not recomputed): start fresh
+    FIXTURE_PATH.unlink(missing_ok=True)
+    run_suite(config, manifest_path=FIXTURE_PATH,
+              progress=lambda line: print(line, file=sys.stderr))
+    digest = RunManifest.load(FIXTURE_PATH).result_digest()
+    print(f"wrote {FIXTURE_PATH}")
+    print(f"result_checksum: {digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

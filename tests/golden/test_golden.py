@@ -1,0 +1,91 @@
+"""Golden-file regression: the pinned suite run must reproduce exactly.
+
+``expected_manifest.json`` is a full run manifest of the configuration
+pinned in :mod:`tests.golden.golden_config`.  The test reruns that
+configuration from scratch and compares row by row -- exact for
+integers and strings, tight relative tolerance for floats -- plus the
+time-masked ``result_checksum`` as the catch-all.
+
+To refresh the fixture after an intentional behaviour change:
+
+    python tests/golden/regenerate.py
+"""
+
+import math
+
+import pytest
+
+from repro.runtime.manifest import RunManifest, mask_volatile
+from repro.runtime.suite import run_suite
+from tests.golden.golden_config import FIXTURE_PATH, golden_config
+
+REL_TOL = 1e-9
+
+
+def assert_value_close(expected, actual, path):
+    """Recursive equality: exact, except floats compared to REL_TOL."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        ok = (math.isnan(expected) and math.isnan(actual)) or \
+            math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=1e-12)
+        assert ok, f"{path}: expected {expected!r}, got {actual!r}"
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: type mismatch"
+        assert expected.keys() == actual.keys(), (
+            f"{path}: keys {sorted(expected)} != {sorted(actual)}")
+        for key in expected:
+            assert_value_close(expected[key], actual[key],
+                               f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(expected) == len(actual), \
+            f"{path}: length mismatch"
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            assert_value_close(e, a, f"{path}[{index}]")
+    else:
+        assert expected == actual, \
+            f"{path}: expected {expected!r}, got {actual!r}"
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return RunManifest.load(FIXTURE_PATH)
+
+
+@pytest.fixture(scope="module")
+def fresh(tmp_path_factory):
+    path = tmp_path_factory.mktemp("golden") / "manifest.json"
+    run_suite(golden_config(), manifest_path=path)
+    return RunManifest.load(path)
+
+
+class TestGoldenManifest:
+    def test_fixture_matches_pinned_config(self, expected):
+        # the fixture cannot silently drift from golden_config.py
+        assert expected.config == golden_config().fingerprint()
+
+    def test_every_circuit_completed_ok(self, expected):
+        config = golden_config()
+        assert expected.circuits == list(config.circuits)
+        assert set(expected.completed) == set(config.circuits)
+        for record in expected.completed.values():
+            assert record.status == "ok"
+            assert record.failures == []
+
+    def test_rows_match_golden(self, expected, fresh):
+        for name, record in expected.completed.items():
+            got = fresh.completed[name]
+            assert got.status == record.status, name
+            assert_value_close(
+                {k: v for k, v in record.row.items()
+                 if k not in ("ref_time", "new_time")},
+                {k: v for k, v in got.row.items()
+                 if k not in ("ref_time", "new_time")},
+                f"{name}/row")
+
+    def test_full_masked_records_match(self, expected, fresh):
+        masked_expected = mask_volatile(expected.payload())
+        masked_fresh = mask_volatile(fresh.payload())
+        assert_value_close(masked_expected["completed"],
+                           masked_fresh["completed"], "completed")
+
+    def test_result_checksum_matches(self, expected, fresh):
+        assert fresh.result_digest() == expected.result_digest()

@@ -9,7 +9,8 @@ from repro.errors import ManifestError
 from repro.runtime.executor import FailureRecord
 from repro.runtime.manifest import (MANIFEST_FORMAT, MANIFEST_VERSION,
                                     CircuitRecord, RunManifest,
-                                    manifest_checksum)
+                                    manifest_checksum, mask_volatile,
+                                    result_checksum)
 
 
 def write_payload(path, payload):
@@ -148,6 +149,119 @@ class TestLoadErrors:
         })
         with pytest.raises(ManifestError, match="'circuits' must be"):
             RunManifest.load(path)
+
+
+class TestResultChecksum:
+    def timed_record(self, elapsed):
+        return CircuitRecord(
+            name="s13207",
+            row={"circuit": "s13207", "FF": 23, "ser": 1.5e-6,
+                 "ref_time": elapsed, "new_time": elapsed * 2},
+            report={"circuit": "s13207", "obs_runtime": elapsed,
+                    "algorithms": {"minobs": {"objective": 7,
+                                              "runtime": elapsed}},
+                    "failures": [{"stage": "solve", "elapsed": elapsed}]},
+            status="ok", elapsed=elapsed,
+            failures=[FailureRecord(circuit="s13207", stage="solve",
+                                    rung="minobswin", error="RuntimeError",
+                                    message="x", elapsed=elapsed, attempt=0,
+                                    action="degrade")])
+
+    def manifest_with(self, elapsed):
+        manifest = RunManifest(config={"seed": 0}, circuits=["s13207"])
+        manifest.record(self.timed_record(elapsed))
+        return manifest
+
+    def test_invariant_under_wall_clock(self):
+        fast, slow = self.manifest_with(0.5), self.manifest_with(99.0)
+        assert fast.payload()["checksum"] != slow.payload()["checksum"]
+        assert fast.result_digest() == slow.result_digest()
+
+    def test_sensitive_to_results(self):
+        base = self.manifest_with(1.0)
+        other = self.manifest_with(1.0)
+        other.completed["s13207"].row["ser"] = 9.9e-6
+        assert base.result_digest() != other.result_digest()
+
+    def test_mask_zeroes_every_time_field(self):
+        masked = mask_volatile(self.manifest_with(42.0).payload())
+        record = masked["completed"]["s13207"]
+        assert record["elapsed"] == 0.0
+        assert record["row"]["ref_time"] == 0.0
+        assert record["row"]["new_time"] == 0.0
+        assert record["report"]["obs_runtime"] == 0.0
+        assert record["report"]["algorithms"]["minobs"]["runtime"] == 0.0
+        assert record["report"]["failures"][0]["elapsed"] == 0.0
+        assert record["failures"][0]["elapsed"] == 0.0
+        # non-time fields untouched
+        assert record["row"]["ser"] == 1.5e-6
+
+    def test_mask_does_not_mutate_payload(self):
+        payload = self.manifest_with(7.0).payload()
+        mask_volatile(payload)
+        assert payload["completed"]["s13207"]["elapsed"] == 7.0
+
+    def test_both_checksums_stored_and_verified(self, tmp_path):
+        path = tmp_path / "m.json"
+        self.manifest_with(1.0).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["checksum"] == manifest_checksum(payload)
+        assert payload["result_checksum"] == result_checksum(payload)
+
+    def test_tampered_result_checksum_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        self.manifest_with(1.0).save(path)
+        payload = json.loads(path.read_text())
+        payload["result_checksum"] = "sha256:" + "0" * 64
+        payload["checksum"] = manifest_checksum(payload)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="result-determinism"):
+            RunManifest.load(path)
+
+    def test_legacy_payload_without_result_checksum_loads(self, tmp_path):
+        # forward compatibility: the field is verified only if present
+        path = tmp_path / "m.json"
+        write_payload(path, {
+            "format": MANIFEST_FORMAT, "version": MANIFEST_VERSION,
+            "config": {}, "circuits": [], "completed": {}})
+        RunManifest.load(path)
+
+
+class TestAbsorb:
+    def shard(self, names, completed, config=None):
+        manifest = RunManifest(config=config or {"seed": 0},
+                               circuits=list(names))
+        for name in completed:
+            manifest.record(CircuitRecord(name=name, row={"circuit": name},
+                                          report=None))
+        return manifest
+
+    def test_absorbs_planned_pending_in_canonical_order(self):
+        main = self.shard(["a", "b", "c", "d"], [])
+        taken = main.absorb(self.shard(["d", "b"], ["d", "b"]))
+        assert taken == ["b", "d"]  # main order, not shard order
+        assert main.pending() == ["a", "c"]
+
+    def test_skips_completed_and_unplanned(self):
+        main = self.shard(["a", "b"], ["a"])
+        donor = self.shard(["a", "b", "zz"], ["a", "b", "zz"])
+        original = main.completed["a"]
+        assert main.absorb(donor) == ["b"]
+        assert main.completed["a"] is original  # not overwritten
+        assert "zz" not in main.completed
+
+    def test_shard_circuit_subset_ignored_in_config_check(self):
+        main = self.shard(["a", "b"], [])
+        main.config["circuits"] = ["a", "b"]
+        donor = self.shard(["b"], ["b"])
+        donor.config["circuits"] = ["b"]
+        assert main.absorb(donor) == ["b"]
+
+    def test_experiment_mismatch_still_rejected(self):
+        main = self.shard(["a", "b"], [])
+        donor = self.shard(["b"], ["b"], config={"seed": 7})
+        with pytest.raises(ManifestError, match="refusing to resume"):
+            main.absorb(donor)
 
 
 class TestConfigCheck:

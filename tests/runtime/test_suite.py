@@ -219,3 +219,67 @@ class TestSuiteConfig:
         assert CFG.fingerprint() != replace(CFG, seed=1).fingerprint()
         assert CFG.fingerprint() != \
             replace(CFG, n_frames=4).fingerprint()
+
+    def test_fingerprint_excludes_worker_count(self):
+        # workers is an execution knob: a parallel run must be able to
+        # resume a serial manifest and vice versa
+        assert CFG.fingerprint() == replace(CFG, workers=8).fingerprint()
+
+
+class TestObservabilityCache:
+    def count_calls(self, monkeypatch):
+        real = suite_mod.compute_observability
+        calls = []
+
+        def counting(circuit, n_frames, n_patterns, seed):
+            calls.append(circuit.name)
+            return real(circuit, n_frames=n_frames,
+                        n_patterns=n_patterns, seed=seed)
+
+        monkeypatch.setattr(suite_mod, "compute_observability", counting)
+        return calls
+
+    def test_repeat_run_hits_cache(self, monkeypatch):
+        calls = self.count_calls(monkeypatch)
+        first = optimize_resilient(tiny_factory("alpha"), CFG)
+        second = optimize_resilient(tiny_factory("alpha"), CFG)
+        assert calls == ["alpha"]  # one simulation, second run memoized
+        assert first.row["ser"] == second.row["ser"]
+
+    def test_keyed_on_structure_not_name(self, monkeypatch):
+        calls = self.count_calls(monkeypatch)
+        circuit = tiny_factory("alpha")
+        renamed = circuit.copy(name="other")
+        suite_mod.cached_observability(circuit, 3, 32, 0)
+        suite_mod.cached_observability(renamed, 3, 32, 0)
+        assert calls == ["alpha"]  # same structure -> same cache entry
+
+    def test_distinct_keys_recompute(self, monkeypatch):
+        calls = self.count_calls(monkeypatch)
+        circuit = tiny_factory("alpha")
+        suite_mod.cached_observability(circuit, 3, 32, 0)
+        suite_mod.cached_observability(circuit, 3, 32, 1)  # other seed
+        suite_mod.cached_observability(tiny_factory("beta"), 3, 32, 0)
+        assert len(calls) == 3
+
+    def test_bypassed_under_fault_injection(self, monkeypatch):
+        from repro.faultplane import hooks
+        from repro.faultplane.plan import FaultInjector, FaultPlan
+
+        calls = self.count_calls(monkeypatch)
+        circuit = tiny_factory("alpha")
+        suite_mod.cached_observability(circuit, 3, 32, 0)
+        with hooks.installed(FaultInjector(FaultPlan())):
+            # chaos runs must visit sim sites every time and must not
+            # poison the cache for clean runs
+            suite_mod.cached_observability(circuit, 3, 32, 0)
+            suite_mod.cached_observability(circuit, 3, 32, 0)
+        suite_mod.cached_observability(circuit, 3, 32, 0)
+        assert len(calls) == 3  # miss, two bypasses, then a clean hit
+
+    def test_cache_is_bounded(self):
+        suite_mod.clear_obs_cache()
+        circuit = tiny_factory("alpha")
+        for seed in range(suite_mod.OBS_CACHE_SIZE + 5):
+            suite_mod.cached_observability(circuit, 1, 4, seed)
+        assert len(suite_mod._OBS_CACHE) == suite_mod.OBS_CACHE_SIZE
