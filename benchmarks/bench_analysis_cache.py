@@ -1,0 +1,97 @@
+"""Analysis-cache speedup: warm vs cold ``table1`` over the golden suite.
+
+Both runs go through the CLI path users actually take
+(``repro-ser table1 ... --cache-dir DIR``) as fresh child interpreters,
+so the warm run cannot profit from any in-process memo -- every hit is
+a disk-tier round trip, exactly like a second invocation on a developer
+machine.
+
+Two claims:
+
+* determinism -- the cold, warm and cache-off manifests share one
+  ``result_checksum``, asserted *unconditionally*;
+* speedup -- the warm run completes the suite at least 3x faster than
+  the cold one (the acceptance bar of the caching change).  Suite time
+  is the sum of the per-circuit ``elapsed`` fields the manifest records
+  (the suite's own wall clock); child-interpreter startup -- numpy and
+  scipy imports, identical cold and warm -- would otherwise drown the
+  measurement at this problem size.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.runtime.manifest import RunManifest
+
+#: The golden three-row suite (tests/golden/golden_config.py) at its
+#: pinned knobs -- small enough for CI, large enough that analysis time
+#: dwarfs noise.
+_ROWS = ("s13207", "s15850.1", "b14_1_opt")
+_KNOBS = ("--scale", "0.004", "--frames", "3", "--patterns", "64",
+          "--seed", "0")
+
+_RESULTS: dict[str, tuple[float, float, str]] = {}
+
+
+def _src_root() -> str:
+    return os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+
+
+def _cli_table1(workdir: str, tag: str,
+                cache_dir: str | None) -> tuple[float, float, str]:
+    """One child-interpreter run: (wall s, suite s, digest)."""
+    manifest_path = os.path.join(workdir, f"{tag}.json")
+    argv = [sys.executable, "-m", "repro.cli", "table1", *_ROWS,
+            *_KNOBS, "--resume", manifest_path]
+    if cache_dir is None:
+        argv.append("--no-cache")
+    else:
+        argv.extend(["--cache-dir", cache_dir])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_FAULT_PLAN", None)
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, capture_output=True, text=True, env=env)
+    wall = time.perf_counter() - t0
+    assert proc.returncode == 0, proc.stderr
+    manifest = RunManifest.load(manifest_path)
+    suite = sum(rec["elapsed"]
+                for rec in manifest.payload()["completed"].values())
+    return wall, suite, manifest.result_digest()
+
+
+def _run_all(tmp_path) -> dict[str, tuple[float, float, str]]:
+    if not _RESULTS:
+        cache_dir = os.path.join(tmp_path, "cache")
+        _RESULTS["off"] = _cli_table1(str(tmp_path), "off", None)
+        _RESULTS["cold"] = _cli_table1(str(tmp_path), "cold", cache_dir)
+        assert os.listdir(cache_dir), "cold run left no cache entries"
+        _RESULTS["warm"] = _cli_table1(str(tmp_path), "warm", cache_dir)
+    return _RESULTS
+
+
+def test_checksums_identical_across_cache_states(tmp_path):
+    results = _run_all(tmp_path)
+    digests = {tag: digest for tag, (_, _, digest) in results.items()}
+    assert digests["cold"] == digests["off"], \
+        "a cold cached run changed the result"
+    assert digests["warm"] == digests["off"], \
+        "a warm cached run changed the result"
+
+
+def test_warm_is_at_least_3x_faster_than_cold(tmp_path):
+    results = _run_all(tmp_path)
+    cold_wall, cold, _ = results["cold"]
+    warm_wall, warm, _ = results["warm"]
+    ratio = cold / warm
+    print(f"\ncold {cold:.2f}s (wall {cold_wall:.2f}s)  "
+          f"warm {warm:.2f}s (wall {warm_wall:.2f}s)  "
+          f"suite speedup {ratio:.1f}x")
+    assert ratio >= 3.0, \
+        f"warm table1 only {ratio:.2f}x faster than cold (need >= 3x)"

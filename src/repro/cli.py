@@ -136,7 +136,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
         epsilon=args.epsilon, maximal_start=args.maximal_start,
         deadline=args.deadline, max_retries=args.max_retries,
         strict=args.strict, guard=not args.no_guard,
-        workers=args.workers)
+        workers=args.workers, cache=_use_cache(args),
+        cache_dir=args.cache_dir)
     progress = (lambda line: print(line, file=sys.stderr)) \
         if args.verbose else None
     suite = run_suite(config, manifest_path=args.resume, progress=progress)
@@ -153,6 +154,16 @@ def cmd_table1(args: argparse.Namespace) -> int:
         save_results(suite.reports, args.json)
         print(f"JSON report written to {args.json}", file=sys.stderr)
     return 0
+
+
+def _use_cache(args: argparse.Namespace) -> bool:
+    """Resolve the ``--cache`` / ``--no-cache`` / ``--cache-dir`` triple.
+
+    ``--cache-dir`` implies ``--cache``; ``--no-cache`` wins over both
+    (useful to prove a result is cache-independent without editing the
+    rest of the command line).
+    """
+    return (args.cache or args.cache_dir is not None) and not args.no_cache
 
 
 def _print_table1_averages(rows) -> None:
@@ -182,11 +193,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .runtime.suite import SuiteConfig
 
     names = args.circuits or [row.name for row in TABLE1_ROWS[:5]]
+    use_cache = _use_cache(args)
+    cache_dir = args.cache_dir
+    if use_cache and cache_dir is None:
+        # The disk tier is where the interesting cache faults live
+        # (torn writes, unreadable entries); a memory-only cache would
+        # leave the cache.* sites unvisited.
+        import tempfile
+
+        cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+        print(f"analysis cache for chaos run in {cache_dir}",
+              file=sys.stderr)
     config = SuiteConfig(
         circuits=tuple(names), scale=args.scale,
         seed=args.experiment_seed, n_frames=args.frames,
         n_patterns=args.patterns, deadline=args.deadline,
-        max_retries=args.max_retries, workers=args.workers)
+        max_retries=args.max_retries, workers=args.workers,
+        cache=use_cache, cache_dir=cache_dir)
     # Kill mode arms only kill faults by default: a deterministic
     # always-firing fault would make every restart fail identically.
     kinds = args.kinds
@@ -197,8 +220,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # In-process default: the sites the recovery ladder wraps.
         # suite.circuit.start is crash-isolation (whole row fails) and
         # manifest/parse sites are not visited without --resume /
-        # file-based circuits, so arming them is noise here.
+        # file-based circuits, so arming them is noise here.  Cache
+        # sites only exist when the analysis cache is on.
         sites = ["solve.*", "sim.*", "ser.*"]
+        if use_cache:
+            sites.append("cache.*")
     plan = build_plan(seed=args.seed, sites=sites, kinds=kinds,
                       trigger=args.trigger, arms=args.arms,
                       probability=args.prob, kill_prob=args.kill_prob)
@@ -278,6 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "solve yields its best feasible retiming "
                             "(table1 degrades, retime/compare abort)")
 
+    def cache_opts(p):
+        p.add_argument("--cache", action="store_true",
+                       help="memoize expensive analyses in a "
+                            "content-addressed cache (warm results are "
+                            "bit-identical to cold ones)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="force caching off (overrides --cache and "
+                            "--cache-dir)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk cache tier, shared across runs and "
+                            "worker processes (implies --cache)")
+
     p = sub.add_parser("retime", help="retime a netlist for low SER")
     p.add_argument("netlist")
     p.add_argument("-a", "--algorithm", default="minobswin",
@@ -320,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     common(p)
     solver_opts(p)
+    cache_opts(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser(
@@ -373,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the suite under test "
                         "(fault plans propagate with per-shard seeds)")
     p.add_argument("-v", "--verbose", action="store_true")
+    cache_opts(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("generate", help="emit a synthetic benchmark")

@@ -24,6 +24,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from ..cache import cached, timing_digest
 from ..graph.retiming_graph import RetimingGraph
 from ..netlist.circuit import Circuit
 from .intervals import IntervalSet
@@ -61,6 +62,21 @@ def graph_elws(graph: RetimingGraph, r: Sequence[int] | np.ndarray,
     return elws
 
 
+def _encode_elws(elws: Mapping[str, IntervalSet]) -> dict:
+    """Cache encoding: interval endpoint pairs per net.
+
+    Endpoints are Python floats (exact JSON round-trip); the
+    :class:`IntervalSet` constructor is the identity on already-disjoint
+    sorted pairs, so a decoded set compares ``==`` to the original.
+    """
+    return {net: [[left, right] for left, right in elw.intervals]
+            for net, elw in elws.items()}
+
+
+def _decode_elws(payload: Mapping[str, list]) -> dict[str, IntervalSet]:
+    return {net: IntervalSet(pairs) for net, pairs in payload.items()}
+
+
 def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
                  hold: float = 2.0) -> dict[str, IntervalSet]:
     """Exact ELW of every net of ``circuit`` (gates, registers and inputs).
@@ -71,7 +87,22 @@ def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
     * a primary output: the latching window (the paper treats POs as
       latch points, ``g in RO``);
     * a gate ``f``: ``ELW(f) - d(f)``.
+
+    Cached under analysis kind ``"elw"`` when an analysis cache is
+    active; ELWs depend on gate delays and register timing, so the key
+    uses :func:`repro.cache.timing_digest`, not the purely functional
+    fingerprint.
     """
+    params = {"phi": float(phi), "setup": float(setup),
+              "hold": float(hold)}
+    return cached("elw", timing_digest(circuit), params,
+                  compute=lambda: _circuit_elws_impl(circuit, phi, setup,
+                                                     hold),
+                  encode=_encode_elws, decode=_decode_elws)
+
+
+def _circuit_elws_impl(circuit: Circuit, phi: float, setup: float,
+                       hold: float) -> dict[str, IntervalSet]:
     window = latching_window(phi, setup, hold)
     po_nets = set(circuit.outputs)
 
@@ -101,6 +132,114 @@ def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
     for net in list(circuit.inputs) + list(circuit.dffs):
         elws[net] = net_elw(net)
     return elws
+
+
+def _reader_maps(circuit: Circuit) -> tuple[set, dict, dict]:
+    """(po_nets, gate_readers, dff_read) of a circuit."""
+    po_nets = set(circuit.outputs)
+    gate_readers: dict[str, list[str]] = {n: [] for n in circuit.nets}
+    dff_read: dict[str, bool] = {n: False for n in circuit.nets}
+    for gate in circuit.gates.values():
+        for net in set(gate.inputs):
+            gate_readers[net].append(gate.name)
+    for dff in circuit.dffs.values():
+        dff_read[dff.d] = True
+    return po_nets, gate_readers, dff_read
+
+
+def incremental_circuit_elws(circuit: Circuit, base_circuit: Circuit,
+                             base_elws: Mapping[str, IntervalSet],
+                             phi: float, setup: float = 0.0,
+                             hold: float = 2.0,
+                             ) -> tuple[dict[str, IntervalSet],
+                                        dict[str, int | bool]]:
+    """ELWs of ``circuit``, reusing ``base_elws`` where provably valid.
+
+    ``base_elws`` must be :func:`circuit_elws` of ``base_circuit`` at the
+    *same* ``(phi, setup, hold)``.  The intended pair is an original
+    circuit and a retimed rebuild of it: retiming relocates registers but
+    keeps every gate (name, op, delay) and every primary output, so a
+    register move perturbs ELWs only along the cones whose
+    latch-point structure it touches.
+
+    A net's ELW is a pure function of its *reader signature* -- the
+    (is-PO, is-register-read, sorted (gate reader, delay)) triple -- and
+    of its gate readers' ELWs.  Walking ``circuit`` in reverse
+    topological order, a net whose signature matches the base and whose
+    readers' ELWs all proved equal to the base reuses ``base_elws[net]``
+    outright; anything else is recomputed locally, and a recomputed net
+    whose result still equals the base stops the invalidation from
+    propagating further up its fanin cone (exact-equality pruning).
+
+    Whenever the reuse precondition is ambiguous -- the two circuits do
+    not share an identical gate set -- the whole function falls back to
+    a plain full recompute (correctness over cleverness).
+
+    Returns ``(elws, stats)`` with
+    ``stats = {"reused": ..., "recomputed": ..., "fallback": ...}``;
+    the result is always element-wise equal to
+    ``circuit_elws(circuit, phi, setup, hold)``.
+    """
+    # Retiming rewires gate *input nets* (register chains are spliced in
+    # and out of wires) but preserves every gate's name, op and arity --
+    # and with them its delay.  That is all the reuse rule needs: the
+    # reader signatures below capture the rewiring itself.
+    same_gates = (
+        circuit.library is base_circuit.library
+        and circuit.gates.keys() == base_circuit.gates.keys()
+        and all(g.op == base_circuit.gates[name].op
+                and len(g.inputs) == len(base_circuit.gates[name].inputs)
+                for name, g in circuit.gates.items()))
+    if not same_gates:
+        elws = circuit_elws(circuit, phi, setup, hold)
+        return elws, {"reused": 0, "recomputed": len(elws),
+                      "fallback": True}
+
+    window = latching_window(phi, setup, hold)
+    po_nets, gate_readers, dff_read = _reader_maps(circuit)
+    base_po, base_readers, base_dff_read = _reader_maps(base_circuit)
+
+    def signature(net: str, po, readers, dffr):
+        return (net in po, dffr[net],
+                tuple(sorted((r, circuit.gate_delay(r))
+                             for r in readers[net])))
+
+    elws: dict[str, IntervalSet] = {}
+    changed: set[str] = set()
+    reused = recomputed = 0
+
+    def net_elw(net: str) -> IntervalSet:
+        parts: list[IntervalSet] = []
+        if net in po_nets or dff_read[net]:
+            parts.append(window)
+        for reader in gate_readers[net]:
+            parts.append(elws[reader] - circuit.gate_delay(reader))
+        if not parts:
+            return IntervalSet.empty()
+        return parts[0].union(*parts[1:])
+
+    def visit(net: str) -> None:
+        nonlocal reused, recomputed
+        base_value = base_elws.get(net)
+        if base_value is not None and net in base_readers \
+                and signature(net, po_nets, gate_readers, dff_read) == \
+                signature(net, base_po, base_readers, base_dff_read) \
+                and not any(r in changed for r in gate_readers[net]):
+            elws[net] = base_value
+            reused += 1
+            return
+        value = net_elw(net)
+        elws[net] = value
+        recomputed += 1
+        if value != base_value:
+            changed.add(net)
+
+    for gate_name in reversed(circuit.topo_gates()):
+        visit(gate_name)
+    for net in list(circuit.inputs) + list(circuit.dffs):
+        visit(net)
+    return elws, {"reused": reused, "recomputed": recomputed,
+                  "fallback": False}
 
 
 def register_elws(circuit: Circuit, phi: float, setup: float = 0.0,

@@ -28,6 +28,9 @@ real failures at that layer.
 | ``manifest.load.enter``   | runtime | checkpoint read begins           |
 | ``suite.circuit.start``   | runtime | next suite circuit begins        |
 | ``suite.checkpoint``      | runtime | circuit checkpointed             |
+| ``cache.load.enter``      | cache   | cache-entry read begins          |
+| ``cache.store.bytes``     | cache   | serialized entry (torn writes)   |
+| ``cache.store.write``     | cache   | cache-entry write begins         |
 +---------------------------+---------+----------------------------------+
 """
 
@@ -96,6 +99,13 @@ SITES: dict[str, Site] = dict((
           "the suite runner is about to start the next circuit"),
     _site("suite.checkpoint", "runtime", ("kill",),
           "a circuit was recorded and checkpointed"),
+    _site("cache.load.enter", "cache", ("oserror", "transient"),
+          "an analysis-cache entry is about to be read"),
+    _site("cache.store.bytes", "cache", ("torn", "garbage"),
+          "the serialized analysis-cache entry bytes (torn/garbage "
+          "writes)"),
+    _site("cache.store.write", "cache", ("oserror",),
+          "an analysis-cache entry write is about to begin"),
 ))
 
 

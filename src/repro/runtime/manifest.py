@@ -106,8 +106,10 @@ def mask_volatile(payload: dict[str, Any]) -> dict[str, Any]:
     masked to zero.
 
     Masked fields: per-record ``elapsed``, row ``ref_time``/``new_time``,
-    report ``obs_runtime`` and per-algorithm ``runtime``, and the
-    ``elapsed`` of every stored failure record.  Everything else --
+    report ``obs_runtime`` and per-algorithm ``runtime``, the entire
+    report ``perf`` subtree (stage timings, analysis-cache counters,
+    incremental-ELW reuse counts -- all wall clock or warmth-dependent),
+    and the ``elapsed`` of every stored failure record.  Everything else --
     including failure *messages*, degradation statuses and solver
     iteration counts -- is deterministic given the configuration and is
     left untouched.  (Deadline-bearing configs are inherently
@@ -132,6 +134,12 @@ def mask_volatile(payload: dict[str, Any]) -> dict[str, Any]:
             for field_name in _REPORT_TIME_FIELDS:
                 if field_name in report:
                     report[field_name] = 0.0
+            # The whole perf subtree is volatile: stage timings are wall
+            # clock, and cache / incremental-reuse counters depend on
+            # cache warmth -- a warm rerun must keep the same
+            # result_checksum as the cold run that filled the cache.
+            if "perf" in report:
+                report["perf"] = {}
             for entry in report.get("algorithms", {}).values():
                 if isinstance(entry, dict) and "runtime" in entry:
                     entry["runtime"] = 0.0

@@ -33,6 +33,11 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
+from .. import cache as analysis_cache
+from ..cache import cached, obs_digest, timing_digest
+from ..core.elw import circuit_elws, incremental_circuit_elws
 from ..core.initialization import InitialRetiming, initialize
 from ..core.minobswin import RetimingResult
 from ..errors import DeadlineExceeded
@@ -48,7 +53,7 @@ from ..pipeline import (AlgorithmOutcome, PipelineResult, build_problem,
 from ..reporting import result_to_dict
 from ..ser.analysis import analyze_ser
 from .executor import Attempt, FailureRecord, run_ladder
-from .guards import verify_retimed
+from .guards import GuardReport, verify_retimed
 from .manifest import CircuitRecord, RunManifest
 
 #: Seed stride between observability reseed attempts (any odd prime-ish
@@ -99,6 +104,126 @@ def cached_observability(circuit: Circuit, n_frames: int, n_patterns: int,
     return value
 
 
+def _encode_init(init: InitialRetiming) -> dict[str, Any]:
+    return {"r0": [int(x) for x in init.r0], "phi": init.phi,
+            "rmin": init.rmin, "phi_base": init.phi_base,
+            "used_fallback": init.used_fallback}
+
+
+def _decode_init(payload: dict[str, Any]) -> InitialRetiming:
+    return InitialRetiming(
+        r0=np.array(payload["r0"], dtype=np.int64), phi=payload["phi"],
+        rmin=payload["rmin"], phi_base=payload["phi_base"],
+        used_fallback=bool(payload["used_fallback"]))
+
+
+def cached_initialize(circuit: Circuit, graph: RetimingGraph, setup: float,
+                      hold: float, epsilon: float,
+                      maximal_start: bool) -> InitialRetiming:
+    """Analysis-cached Sec. V initialization (kind ``"init"``).
+
+    ``graph`` is a pure function of ``circuit``, so the key only needs
+    the circuit's timing digest plus the initialization knobs.
+    """
+    params = {"setup": float(setup), "hold": float(hold),
+              "epsilon": float(epsilon),
+              "maximal_start": bool(maximal_start)}
+    return cached("init", timing_digest(circuit), params,
+                  compute=lambda: initialize(graph, setup, hold, epsilon,
+                                             maximal_start=maximal_start),
+                  encode=_encode_init, decode=_decode_init)
+
+
+def _encode_solve(result: RetimingResult) -> dict[str, Any]:
+    # The trace is dropped: the suite never solves with keep_trace=True,
+    # and the stored runtime is the (cold) solve's wall clock -- a
+    # volatile field everywhere it surfaces, masked by mask_volatile.
+    return {"r": [int(x) for x in result.r],
+            "objective": int(result.objective),
+            "commits": int(result.commits),
+            "iterations": int(result.iterations),
+            "passes": int(result.passes),
+            "constraints_added": int(result.constraints_added),
+            "blocked": int(result.blocked), "runtime": result.runtime}
+
+
+def _decode_solve(payload: dict[str, Any]) -> RetimingResult:
+    return RetimingResult(
+        r=np.array(payload["r"], dtype=np.int64),
+        objective=payload["objective"], commits=payload["commits"],
+        iterations=payload["iterations"], passes=payload["passes"],
+        constraints_added=payload["constraints_added"],
+        blocked=payload["blocked"], runtime=payload["runtime"])
+
+
+def cached_run_solver(circuit: Circuit, problem, r0: np.ndarray,
+                      algorithm: str, restart: bool,
+                      deadline: float | None,
+                      obs: dict[str, float],
+                      n_patterns: int) -> RetimingResult:
+    """Analysis-cached solver dispatch (kind ``"solve"``).
+
+    Bypassed (straight to :func:`repro.pipeline.run_solver`) whenever
+
+    * a fault injector is installed -- ``solve.result.labels`` faults
+      corrupt returned labels, and a poisoned cache would leak wrong
+      answers into clean warm runs; or
+    * a deadline is set -- partial results depend on wall clock and are
+      not content-addressable.
+
+    The problem instance is fully determined by the circuit's timing
+    digest plus ``(phi, rmin, setup, hold)`` and the integer
+    observability counts, which the obs digest and pattern count pin.
+    """
+    if hooks.active() is not None or deadline is not None:
+        return run_solver(problem, r0, algorithm, restart=restart,
+                          deadline=deadline)
+    params = {"algorithm": algorithm, "restart": bool(restart),
+              "phi": float(problem.phi), "rmin": float(problem.rmin),
+              "setup": float(problem.setup), "hold": float(problem.hold),
+              "r0": [int(x) for x in r0], "obs": obs_digest(obs),
+              "n_patterns": int(n_patterns)}
+    return cached("solve", timing_digest(circuit), params,
+                  compute=lambda: run_solver(problem, r0, algorithm,
+                                             restart=restart),
+                  encode=_encode_solve, decode=_decode_solve)
+
+
+def cached_verify_retimed(original: Circuit, retimed: Circuit,
+                          graph: RetimingGraph, r: np.ndarray, phi: float,
+                          setup: float, *, exact_states: bool,
+                          check_cycles: int, n_patterns: int,
+                          seed: int) -> GuardReport:
+    """Analysis-cached post-retime guard (kind ``"guard"``).
+
+    Bypassed while a fault injector is installed for the same reason as
+    the solver cache: the guard exists to catch corrupted results, so it
+    must actually run on every chaos attempt.
+    """
+    def compute() -> GuardReport:
+        return verify_retimed(original, retimed, graph, r, phi, setup,
+                              exact_states=exact_states,
+                              check_cycles=check_cycles,
+                              n_patterns=n_patterns, seed=seed)
+
+    if hooks.active() is not None:
+        return compute()
+    params = {"retimed": timing_digest(retimed),
+              "r": [int(x) for x in r], "phi": float(phi),
+              "setup": float(setup), "exact_states": bool(exact_states),
+              "check_cycles": int(check_cycles),
+              "n_patterns": int(n_patterns), "seed": int(seed)}
+    return cached("guard", timing_digest(original), params,
+                  compute=compute,
+                  encode=lambda report: report.to_dict(),
+                  decode=lambda payload: GuardReport(
+                      ok=bool(payload["ok"]),
+                      checks=dict(payload["checks"]),
+                      first_bad_cycle=int(payload["first_bad_cycle"]),
+                      flush_cycles=int(payload["flush_cycles"]),
+                      notes=list(payload["notes"])))
+
+
 @dataclass(frozen=True)
 class SuiteConfig:
     """Configuration of one resilient suite run.
@@ -133,6 +258,16 @@ class SuiteConfig:
     #: produces a manifest with the same ``result_checksum`` as a serial
     #: run, so the worker count never enters the fingerprint.
     workers: int = 1
+    #: Activate the content-addressed analysis cache (:mod:`repro.cache`)
+    #: for the duration of the run.  An execution knob like ``workers``:
+    #: warm results are bit-identical to cold ones (that is the cache's
+    #: contract, proved by the differential test layer), so neither
+    #: ``cache`` nor ``cache_dir`` enters the fingerprint.
+    cache: bool = False
+    #: On-disk cache tier shared across processes and suite workers;
+    #: ``None`` keeps an enabled cache memory-only.  A non-``None`` value
+    #: implies ``cache``.
+    cache_dir: str | None = None
 
     def fingerprint(self) -> dict[str, Any]:
         """The result-determining configuration, for manifest matching."""
@@ -289,6 +424,24 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
     setup = circuit.library.setup_time
     hold = circuit.library.hold_time
 
+    # Perf accounting: per-stage wall clocks, analysis-cache counter
+    # deltas and incremental-ELW reuse counts.  All of it lands in
+    # report["perf"], which mask_volatile masks wholesale -- timings are
+    # wall clock and cache counters depend on warmth, so none of it may
+    # enter the result checksum.
+    cache_obj = analysis_cache.active()
+    cache_before = cache_obj.stats.to_dict() if cache_obj is not None \
+        else None
+    stage_times: dict[str, float] = {}
+    elw_inc = {"reused": 0, "recomputed": 0, "fallbacks": 0}
+
+    def timed_ladder(stage, rungs):
+        t_stage = time.perf_counter()
+        try:
+            return ladder(stage, rungs)
+        finally:
+            stage_times[stage] = time.perf_counter() - t_stage
+
     def run_stages() -> CircuitRun:
         # ---- stage 2: observability (retry-with-reseed, memoized) ----
         def sim_obs(ctx: Attempt):
@@ -297,16 +450,17 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                 n_patterns=config.n_patterns,
                 seed=config.seed + RESEED_STRIDE * ctx.attempt)
 
-        obs_stage = ladder("observability", [("signature-sim", sim_obs)])
+        obs_stage = timed_ladder("observability",
+                                 [("signature-sim", sim_obs)])
         obs, obs_runtime = obs_stage.value
         if obs_stage.attempts > 1:
             degradations.append(f"obs=attempt{obs_stage.attempts}")
 
         # ---- stage 3: initialization ---------------------------------
-        init_stage = ladder("initialize", [
-            ("setup-hold", lambda ctx: initialize(
-                graph, setup, hold, config.epsilon,
-                maximal_start=config.maximal_start)),
+        init_stage = timed_ladder("initialize", [
+            ("setup-hold", lambda ctx: cached_initialize(
+                circuit, graph, setup, hold, config.epsilon,
+                config.maximal_start)),
             ("degenerate", lambda ctx: _degenerate_initialize(
                 graph, setup, config.epsilon)),
         ])
@@ -315,7 +469,7 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
             degradations.append("init=degenerate")
 
         # ---- original-circuit SER (reference for every outcome) ------
-        ser_stage = ladder("ser-original", [
+        ser_stage = timed_ladder("ser-original", [
             ("analyze", lambda ctx: analyze_ser(circuit, init.phi, setup,
                                                 hold, obs=obs))])
         ser_original = ser_stage.value
@@ -333,9 +487,11 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                     return AlgorithmRun(outcome=outcome, label="identity")
                 label = solver
                 try:
-                    solved = run_solver(problem, init.r0, solver,
-                                        restart=config.restart,
-                                        deadline=ctx.deadline.remaining())
+                    solved = cached_run_solver(
+                        circuit, problem, init.r0, solver,
+                        restart=config.restart,
+                        deadline=ctx.deadline.remaining(),
+                        obs=obs, n_patterns=config.n_patterns)
                 except DeadlineExceeded as exc:
                     if exc.partial is None:
                         raise
@@ -347,7 +503,7 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                     name=f"{name}_{algorithm}")
                 guard_dict = None
                 if config.guard and solved.r.any():
-                    guard = verify_retimed(
+                    guard = cached_verify_retimed(
                         circuit, retimed, graph, solved.r, init.phi,
                         setup, exact_states=exact,
                         check_cycles=config.guard_cycles,
@@ -355,7 +511,19 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                         seed=config.seed)
                     guard_dict = guard.to_dict()
                     guard.raise_if_failed(f"{name}/{label}")
-                ser = analyze_ser(retimed, init.phi, setup, hold, obs=obs)
+                # Incremental ELW reuse: the retimed rebuild shares every
+                # gate with the original, so its timing analysis starts
+                # from the original's ELWs and recomputes only the cones
+                # the register moves disturbed.
+                elws, inc = incremental_circuit_elws(
+                    retimed, circuit,
+                    circuit_elws(circuit, init.phi, setup, hold),
+                    init.phi, setup, hold)
+                elw_inc["reused"] += inc["reused"]
+                elw_inc["recomputed"] += inc["recomputed"]
+                elw_inc["fallbacks"] += int(inc["fallback"])
+                ser = analyze_ser(retimed, init.phi, setup, hold, obs=obs,
+                                  elws=elws)
                 outcome = AlgorithmOutcome(result=solved, circuit=retimed,
                                            ser=ser,
                                            registers=retimed.n_dffs)
@@ -374,7 +542,7 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                 if algorithm == "minobswin" else ["minobs", "identity"]
             rungs = [(solver, make_rung(solver, algorithm))
                      for solver in chain]
-            stage = ladder(f"solve:{algorithm}", rungs)
+            stage = timed_ladder(f"solve:{algorithm}", rungs)
             run: AlgorithmRun = stage.value
             result.outcomes[algorithm] = run.outcome
             if run.guard is not None:
@@ -391,6 +559,12 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
         report["failures"] = [f.to_dict() for f in failures]
         if guards:
             report["guards"] = guards
+        cache_counters: dict[str, Any] = {"enabled": cache_obj is not None}
+        if cache_obj is not None:
+            cache_counters.update(cache_obj.stats.delta(cache_before))
+        report["perf"] = {"stages": dict(stage_times),
+                          "elw_incremental": dict(elw_inc),
+                          "cache": cache_counters}
         return CircuitRun(name=name, row=row, report=report, status=status,
                           elapsed=time.perf_counter() - t0,
                           failures=failures, result=result)
@@ -460,6 +634,25 @@ def run_suite(config: SuiteConfig,
                                   circuit_factory=circuit_factory,
                                   workers=n_workers)
 
+    if config.cache or config.cache_dir is not None:
+        # Opt-in analysis cache for the duration of the run.  Each
+        # worker of a parallel run takes this branch inside its own
+        # process (the shard path re-enters run_suite with workers=1),
+        # so a shared cache_dir is the cross-process tier.
+        with analysis_cache.activated(
+                analysis_cache.AnalysisCache(config.cache_dir)):
+            return _run_suite_serial(config, manifest_path, progress,
+                                     circuit_factory, progress_events)
+    return _run_suite_serial(config, manifest_path, progress,
+                             circuit_factory, progress_events)
+
+
+def _run_suite_serial(config: SuiteConfig,
+                      manifest_path: str | None,
+                      progress: Callable[[str], None] | None,
+                      circuit_factory: Callable[[str], Circuit] | None,
+                      progress_events: Callable[[str, str], None] | None,
+                      ) -> SuiteResult:
     if circuit_factory is None:
         from ..circuits.suites import table1_circuit
 

@@ -23,8 +23,10 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from ..errors import AnalysisError
+from ..cache import cached, obs_digest, timing_digest
 from ..core.elw import circuit_elws
+from ..core.intervals import IntervalSet
+from ..errors import AnalysisError
 from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
 from ..sim.odc import observability
@@ -79,6 +81,23 @@ def extend_obs_to_registers(circuit: Circuit,
     return full
 
 
+def _encode_ser(analysis: SerAnalysis) -> dict:
+    return {"total": analysis.total, "comb": analysis.comb,
+            "reg": analysis.reg,
+            "total_no_timing": analysis.total_no_timing,
+            "per_element": analysis.per_element,
+            "phi": analysis.phi, "setup": analysis.setup,
+            "hold": analysis.hold}
+
+
+def _decode_ser(payload: dict) -> SerAnalysis:
+    return SerAnalysis(
+        total=payload["total"], comb=payload["comb"], reg=payload["reg"],
+        total_no_timing=payload["total_no_timing"],
+        per_element=dict(payload["per_element"]),
+        phi=payload["phi"], setup=payload["setup"], hold=payload["hold"])
+
+
 def analyze_ser(circuit: Circuit, phi: float,
                 setup: float | None = None, hold: float | None = None,
                 obs: Mapping[str, float] | None = None,
@@ -86,7 +105,9 @@ def analyze_ser(circuit: Circuit, phi: float,
                 n_frames: int = 15, n_patterns: int = 256,
                 seed: int = 0,
                 electrical_tau: float | None = None,
-                latch_width: float = 1.0) -> SerAnalysis:
+                latch_width: float = 1.0,
+                elws: Mapping[str, IntervalSet] | None = None,
+                ) -> SerAnalysis:
     """Compute the SER of ``circuit`` at clock period ``phi`` (eq. 4).
 
     Parameters
@@ -109,6 +130,16 @@ def analyze_ser(circuit: Circuit, phi: float,
     latch_width:
         Minimal pulse width a register can sample (used with
         ``electrical_tau``).
+    elws:
+        Precomputed per-net ELWs (must match ``(phi, setup, hold)``);
+        pass the output of
+        :func:`repro.core.elw.incremental_circuit_elws` to reuse an
+        original circuit's timing analysis on a retimed rebuild.  When
+        omitted, :func:`~repro.core.elw.circuit_elws` is run here.
+
+    Cached under analysis kind ``"ser"`` when an analysis cache is
+    active and ``elws`` is not supplied (precomputed ELWs have no
+    compact digest; the incremental path is already the fast one).
     """
     if phi <= 0:
         raise AnalysisError("clock period must be positive")
@@ -120,11 +151,39 @@ def analyze_ser(circuit: Circuit, phi: float,
     if isinstance(rate_model, str):
         rate_model = RateModel(rate_model)
 
+    def compute() -> SerAnalysis:
+        return _analyze_ser_impl(circuit, phi, setup, hold, obs,
+                                 rate_model, n_frames, n_patterns, seed,
+                                 electrical_tau, latch_width, elws)
+
+    if elws is not None:
+        return compute()
+    params = {
+        "phi": float(phi), "setup": float(setup), "hold": float(hold),
+        "rate_model": [rate_model.name, float(rate_model.unit)],
+        "electrical_tau": electrical_tau,
+        "latch_width": float(latch_width),
+        "obs": obs_digest(obs) if obs is not None else None,
+        "sim": None if obs is not None
+        else [int(n_frames), int(n_patterns), int(seed)],
+    }
+    return cached("ser", timing_digest(circuit), params, compute=compute,
+                  encode=_encode_ser, decode=_decode_ser)
+
+
+def _analyze_ser_impl(circuit: Circuit, phi: float, setup: float,
+                      hold: float, obs: Mapping[str, float] | None,
+                      rate_model: RateModel, n_frames: int,
+                      n_patterns: int, seed: int,
+                      electrical_tau: float | None, latch_width: float,
+                      elws: Mapping[str, IntervalSet] | None,
+                      ) -> SerAnalysis:
     if obs is None:
         obs = observability(circuit, n_frames=n_frames,
                             n_patterns=n_patterns, seed=seed).obs
     obs_full = extend_obs_to_registers(circuit, obs)
-    elws = circuit_elws(circuit, phi, setup, hold)
+    if elws is None:
+        elws = circuit_elws(circuit, phi, setup, hold)
     derate: Mapping[str, float] | None = None
     if electrical_tau is not None:
         from ..sim.electrical import electrical_derating

@@ -22,6 +22,16 @@ def eval_gate(op: str, inputs: Sequence[np.ndarray],
               n_patterns: int) -> np.ndarray:
     """Evaluate one gate on packed input signatures.
 
+    Contract: the returned array is always *fresh* -- it never aliases
+    any entry of ``inputs`` (nor any other live signature).  Callers
+    rely on this to mutate the result in place: :func:`simulate_comb`
+    runs :func:`repro.sim.bitvec.trim` on it, which would silently
+    corrupt a shared input signature if the result were an alias.  The
+    one-input degenerate forms (a single-input AND/OR/XOR is a BUF, a
+    single-input NAND/NOR/XNOR a NOT) therefore copy before returning,
+    and the contract is pinned by
+    ``tests/sim/test_eval_gate_property.py``.
+
     Padding bits may become 1 for inverting ops; callers that count ones
     must mask with :func:`repro.sim.bitvec.trim` -- the simulator below
     does this once per gate.
@@ -33,22 +43,27 @@ def eval_gate(op: str, inputs: Sequence[np.ndarray],
     if op == "BUF":
         return inputs[0].copy()
     if op == "NOT":
-        return inputs[0] ^ _ONES
-    acc = inputs[0].copy()
+        return inputs[0] ^ _ONES  # fresh: binary ufunc allocates
     if op in ("AND", "NAND"):
-        for sig in inputs[1:]:
+        acc = inputs[0].copy() if len(inputs) == 1 \
+            else inputs[0] & inputs[1]
+        for sig in inputs[2:]:
             acc &= sig
         if op == "NAND":
             acc ^= _ONES
         return acc
     if op in ("OR", "NOR"):
-        for sig in inputs[1:]:
+        acc = inputs[0].copy() if len(inputs) == 1 \
+            else inputs[0] | inputs[1]
+        for sig in inputs[2:]:
             acc |= sig
         if op == "NOR":
             acc ^= _ONES
         return acc
     if op in ("XOR", "XNOR"):
-        for sig in inputs[1:]:
+        acc = inputs[0].copy() if len(inputs) == 1 \
+            else inputs[0] ^ inputs[1]
+        for sig in inputs[2:]:
             acc ^= sig
         if op == "XNOR":
             acc ^= _ONES

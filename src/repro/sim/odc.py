@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cache import cached
 from ..errors import AnalysisError
 from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
@@ -52,12 +53,17 @@ class ObservabilityResult:
         Simulation configuration the values were computed with.
     method:
         ``"backward"`` or ``"exact"``.
+    masks:
+        The frame-0 per-net observability masks (packed 64 patterns per
+        ``uint64`` word), kept only when the engine was called with
+        ``keep_masks=True``; ``None`` otherwise.
     """
 
     obs: dict[str, float]
     n_patterns: int
     n_frames: int
     method: str
+    masks: dict[str, np.ndarray] | None = None
 
     def of(self, net: str) -> float:
         """Observability of ``net`` (raises on unknown nets)."""
@@ -106,13 +112,67 @@ def _input_sensitization(circuit: Circuit, gate_name: str, net: str,
     return normal ^ flipped
 
 
+def _encode_obs_result(result: ObservabilityResult) -> dict:
+    """Cache encoding: exact-JSON-round-trip view of a result.
+
+    Obs fractions are Python floats (``repr`` round-trips them exactly)
+    and masks become arbitrary-precision int lists, so a decoded warm
+    result is bit-identical to the cold one.
+    """
+    payload = {
+        "obs": result.obs,
+        "n_patterns": result.n_patterns,
+        "n_frames": result.n_frames,
+        "method": result.method,
+        "masks": None,
+    }
+    if result.masks is not None:
+        payload["masks"] = {net: [int(word) for word in mask]
+                            for net, mask in result.masks.items()}
+    return payload
+
+
+def _decode_obs_result(payload: dict) -> ObservabilityResult:
+    masks = payload.get("masks")
+    if masks is not None:
+        masks = {net: np.array(words, dtype=np.uint64)
+                 for net, words in masks.items()}
+    return ObservabilityResult(
+        obs={net: float(v) for net, v in payload["obs"].items()},
+        n_patterns=int(payload["n_patterns"]),
+        n_frames=int(payload["n_frames"]),
+        method=str(payload["method"]), masks=masks)
+
+
 def observability(circuit: Circuit, n_frames: int = 15,
                   n_patterns: int = 256, warmup: int | None = None,
-                  seed: int = 0) -> ObservabilityResult:
-    """Signature-based observability with backward ODC propagation."""
+                  seed: int = 0,
+                  keep_masks: bool = False) -> ObservabilityResult:
+    """Signature-based observability with backward ODC propagation.
+
+    Cached under analysis kind ``"obs"`` when an analysis cache is
+    active (:mod:`repro.cache`): observability depends only on circuit
+    *function*, so the key uses the functional
+    :meth:`~repro.netlist.circuit.Circuit.fingerprint`.  The
+    ``sim.observability`` fault point fires before the cache lookup so
+    chaos plans see every call, warm or cold.
+    """
     if n_frames < 1:
         raise AnalysisError("n_frames must be >= 1")
     fault_point("sim.observability", circuit=circuit.name, seed=seed)
+    params = {"n_frames": int(n_frames), "n_patterns": int(n_patterns),
+              "warmup": warmup if warmup is None else int(warmup),
+              "seed": int(seed), "keep_masks": bool(keep_masks)}
+    return cached("obs", circuit.fingerprint(), params,
+                  compute=lambda: _observability_impl(
+                      circuit, n_frames, n_patterns, warmup, seed,
+                      keep_masks),
+                  encode=_encode_obs_result, decode=_decode_obs_result)
+
+
+def _observability_impl(circuit: Circuit, n_frames: int, n_patterns: int,
+                        warmup: int | None, seed: int,
+                        keep_masks: bool) -> ObservabilityResult:
     rng = np.random.default_rng(seed)
     if warmup is None:
         warmup = n_frames
@@ -160,13 +220,17 @@ def observability(circuit: Circuit, n_frames: int = 15,
 
     obs = {net: fraction_of_ones(mask, n_patterns)
            for net, mask in masks.items()}
+    kept = {net: trim(mask.copy(), n_patterns)
+            for net, mask in masks.items()} if keep_masks else None
     return ObservabilityResult(obs=obs, n_patterns=n_patterns,
-                               n_frames=n_frames, method="backward")
+                               n_frames=n_frames, method="backward",
+                               masks=kept)
 
 
 def exact_observability(circuit: Circuit, n_frames: int = 15,
                         n_patterns: int = 256, warmup: int | None = None,
-                        seed: int = 0) -> ObservabilityResult:
+                        seed: int = 0,
+                        keep_masks: bool = False) -> ObservabilityResult:
     """Flip-and-resimulate observability oracle (quadratic; small circuits).
 
     Uses the same pattern stream as :func:`observability` for the same
@@ -182,6 +246,7 @@ def exact_observability(circuit: Circuit, n_frames: int = 15,
 
     po_nets = list(circuit.outputs)
     obs: dict[str, float] = {}
+    kept: dict[str, np.ndarray] | None = {} if keep_masks else None
     for net in circuit.nets:
         flip = frames[0][net] ^ _ONES
         flip = trim(flip.copy(), n_patterns)
@@ -215,6 +280,9 @@ def exact_observability(circuit: Circuit, n_frames: int = 15,
                     for name, dff in circuit.dffs.items():
                         observed |= nets_t[dff.d] ^ frames[t][dff.d]
         obs[net] = fraction_of_ones(observed, n_patterns)
+        if kept is not None:
+            kept[net] = trim(observed.copy(), n_patterns)
 
     return ObservabilityResult(obs=obs, n_patterns=n_patterns,
-                               n_frames=n_frames, method="exact")
+                               n_frames=n_frames, method="exact",
+                               masks=kept)

@@ -1,0 +1,1 @@
+"""Tests for the content-addressed analysis cache (repro.cache)."""

@@ -1,0 +1,104 @@
+"""Tests for incremental ELW reuse across a register move.
+
+``incremental_circuit_elws`` must be *indistinguishable* from a full
+``circuit_elws`` recompute -- the reuse rule is an optimization, never an
+approximation.  Equality is exact (``IntervalSet.__eq__`` compares
+endpoint tuples), checked net-by-net on real retimed circuits produced
+by the paper pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.core.elw import circuit_elws, incremental_circuit_elws
+from repro.pipeline import optimize_circuit
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One solved pipeline run: original, retimed circuits and phi."""
+    circuit = random_sequential_circuit(
+        "inc", n_gates=60, n_dffs=16, n_inputs=5, n_outputs=5, seed=3)
+    result = optimize_circuit(circuit, n_frames=3, n_patterns=64, seed=0)
+    return circuit, result
+
+
+class TestAgainstFullRecompute:
+    @pytest.mark.parametrize("algorithm", ["minobs", "minobswin"])
+    def test_retimed_matches_full(self, pipeline, algorithm):
+        circuit, result = pipeline
+        retimed = result.outcomes[algorithm].circuit
+        phi = result.init.phi
+        setup = circuit.library.setup_time
+        hold = circuit.library.hold_time
+        base = circuit_elws(circuit, phi, setup, hold)
+        inc, stats = incremental_circuit_elws(retimed, circuit, base,
+                                              phi, setup, hold)
+        full = circuit_elws(retimed, phi, setup, hold)
+        assert set(inc) == set(full)
+        for net in full:
+            assert inc[net] == full[net], net
+        assert stats["fallback"] is False
+        assert stats["reused"] + stats["recomputed"] == len(full)
+
+    def test_identity_move_reuses_everything(self, pipeline):
+        circuit, result = pipeline
+        phi = result.init.phi
+        base = circuit_elws(circuit, phi, 0.0, 2.0)
+        inc, stats = incremental_circuit_elws(circuit, circuit, base,
+                                              phi, 0.0, 2.0)
+        assert stats == {"reused": len(base), "recomputed": 0,
+                         "fallback": False}
+        assert inc == dict(base)
+
+    def test_real_moves_actually_reuse(self, pipeline):
+        # The optimization must not silently degenerate into
+        # recompute-everything on the circuits it was built for.
+        circuit, result = pipeline
+        retimed = result.outcomes["minobswin"].circuit
+        phi = result.init.phi
+        base = circuit_elws(circuit, phi, 0.0, 2.0)
+        _, stats = incremental_circuit_elws(retimed, circuit, base,
+                                            phi, 0.0, 2.0)
+        assert stats["fallback"] is False
+        assert stats["reused"] > 0
+
+
+class TestFallback:
+    def test_different_gate_set_falls_back(self):
+        a = random_sequential_circuit("a", 20, 5, n_inputs=3,
+                                      n_outputs=3, seed=1)
+        b = random_sequential_circuit("b", 22, 5, n_inputs=3,
+                                      n_outputs=3, seed=2)
+        base = circuit_elws(a, 4.0)
+        inc, stats = incremental_circuit_elws(b, a, base, 4.0)
+        assert stats["fallback"] is True
+        assert stats["reused"] == 0
+        full = circuit_elws(b, 4.0)
+        assert inc == full
+
+    def test_different_library_falls_back(self):
+        from repro.netlist.cell_library import unit_delay_library
+
+        a = random_sequential_circuit("a", 20, 5, n_inputs=3,
+                                      n_outputs=3, seed=1)
+        b = random_sequential_circuit("a", 20, 5, n_inputs=3,
+                                      n_outputs=3, seed=1,
+                                      library=unit_delay_library())
+        base = circuit_elws(a, 4.0)
+        inc, stats = incremental_circuit_elws(b, a, base, 4.0)
+        assert stats["fallback"] is True
+        assert inc == circuit_elws(b, 4.0)
+
+    def test_fallback_result_is_still_exact(self, pipeline):
+        # Even a nonsense base map cannot leak into a fallback result.
+        circuit, result = pipeline
+        retimed = result.outcomes["minobs"].circuit
+        phi = result.init.phi
+        other = random_sequential_circuit("other", 10, 3, n_inputs=3,
+                                          n_outputs=3, seed=9)
+        base = circuit_elws(other, phi)
+        inc, stats = incremental_circuit_elws(retimed, other, base, phi)
+        assert stats["fallback"] is True
+        assert inc == circuit_elws(retimed, phi)

@@ -1,0 +1,175 @@
+"""Chaos tests for the analysis cache: corruption degrades, never lies.
+
+The cache's safety contract is the strongest one in the codebase:
+*any* cache-layer fault -- an unreadable entry, a torn or garbage write,
+a failing write syscall -- must degrade to a recompute (at worst with a
+:class:`~repro.cache.store.CacheWarning`), and the suite result must be
+bit-identical (``result_checksum``) to an uncached clean run.  A cache
+that can return a wrong answer is worse than no cache.
+
+Fast deterministic variants run everywhere; one full-plan variant is
+gated behind ``REPRO_CHAOS=1`` for the CI chaos job.
+"""
+
+import dataclasses
+import os
+import warnings
+
+import pytest
+
+from repro.cache.store import CacheWarning
+from repro.faultplane import hooks
+from repro.faultplane.plan import FaultInjector, FaultPlan, FaultSpec
+from repro.faultplane.sites import SITES, check_plan, match_sites
+from repro.runtime.manifest import RunManifest
+from repro.runtime.suite import run_suite
+
+from .conftest import micro_factory
+
+heavy = pytest.mark.skipif(not os.environ.get("REPRO_CHAOS"),
+                           reason="set REPRO_CHAOS=1 to run the "
+                                  "chaos suite")
+
+CACHE_SITES = ("cache.load.enter", "cache.store.bytes",
+               "cache.store.write")
+
+
+def digest_of(path):
+    return RunManifest.load(path).result_digest()
+
+
+def cached_cfg(cfg, tmp_path):
+    return dataclasses.replace(
+        cfg, cache=True, cache_dir=str(tmp_path / "cache"))
+
+
+def run_digest(cfg, path, injector=None):
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        if injector is None:
+            run_suite(cfg, manifest_path=path,
+                      circuit_factory=micro_factory)
+        else:
+            with hooks.installed(injector):
+                run_suite(cfg, manifest_path=path,
+                          circuit_factory=micro_factory)
+    return digest_of(path)
+
+
+class TestCatalog:
+    def test_cache_sites_are_registered(self):
+        assert match_sites("cache.*") == sorted(CACHE_SITES)
+        assert SITES["cache.load.enter"].kinds == ("oserror", "transient")
+        assert SITES["cache.store.bytes"].kinds == ("torn", "garbage")
+        assert SITES["cache.store.write"].kinds == ("oserror",)
+        for name in CACHE_SITES:
+            assert SITES[name].layer == "cache"
+
+    def test_plans_on_cache_sites_validate(self):
+        plan = FaultPlan(faults=[
+            FaultSpec("cache.load.enter", "oserror"),
+            FaultSpec("cache.store.bytes", "torn"),
+            FaultSpec("cache.*", "garbage"),
+        ])
+        check_plan(plan)  # must not raise
+
+
+class TestReadFaultsDegrade:
+    @pytest.mark.parametrize("kind", ["oserror", "transient"])
+    def test_every_read_failing_equals_uncached_run(self, micro_cfg,
+                                                    tmp_path, kind):
+        clean = run_digest(micro_cfg, tmp_path / "clean.json")
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec("cache.load.enter", kind, trigger=1, arms=-1)])
+        cfg = cached_cfg(micro_cfg, tmp_path)
+        with pytest.warns(CacheWarning):
+            injected = run_digest(cfg, tmp_path / "faulted.json",
+                                  FaultInjector(plan))
+        assert injected == clean
+
+    def test_single_read_fault_on_warm_cache(self, micro_cfg, tmp_path):
+        # Warm the cache cleanly, then poison exactly one read: the
+        # entry stays on disk (a read failure is not corruption) and
+        # only that one lookup recomputes.
+        cfg = cached_cfg(micro_cfg, tmp_path)
+        clean = run_digest(cfg, tmp_path / "cold.json")
+        entries = sorted(os.listdir(cfg.cache_dir))
+        assert entries
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec("cache.load.enter", "oserror", trigger=1, arms=1)])
+        with pytest.warns(CacheWarning):
+            warm = run_digest(cfg, tmp_path / "warm.json",
+                              FaultInjector(plan))
+        assert warm == clean
+        assert sorted(os.listdir(cfg.cache_dir)) == entries
+
+
+class TestWriteFaultsDegrade:
+    @pytest.mark.parametrize("kind", ["torn", "garbage"])
+    def test_corrupt_writes_self_evict_on_next_run(self, micro_cfg,
+                                                   tmp_path, kind):
+        clean = run_digest(micro_cfg, tmp_path / "clean.json")
+        cfg = cached_cfg(micro_cfg, tmp_path)
+        # Cold run under corruption: every entry written is damaged.
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec("cache.store.bytes", kind, trigger=1, arms=-1)])
+        poisoned = run_digest(cfg, tmp_path / "poisoned.json",
+                              FaultInjector(plan))
+        assert poisoned == clean  # memory tier is uncorrupted
+        assert os.listdir(cfg.cache_dir)
+        # Warm run in a "new process" (fresh cache instance, same dir):
+        # the corrupt entries fail their checksums, self-evict, and the
+        # result still matches the clean run exactly.
+        with pytest.warns(CacheWarning):
+            warm = run_digest(cfg, tmp_path / "warm.json")
+        assert warm == clean
+
+    def test_failing_write_syscall_is_a_warning(self, micro_cfg,
+                                                tmp_path):
+        clean = run_digest(micro_cfg, tmp_path / "clean.json")
+        cfg = cached_cfg(micro_cfg, tmp_path)
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec("cache.store.write", "oserror", trigger=1,
+                      arms=-1)])
+        with pytest.warns(CacheWarning):
+            injected = run_digest(cfg, tmp_path / "faulted.json",
+                                  FaultInjector(plan))
+        assert injected == clean
+        # Nothing usable was persisted, and the next cold run over the
+        # same directory still matches.
+        assert run_digest(cfg, tmp_path / "retry.json") == clean
+
+
+@heavy
+class TestFullPlanRecovery:
+    def test_all_cache_faults_at_once(self, cfg, tmp_path):
+        """One fixed-seed plan arming every cache site simultaneously."""
+        from .conftest import tiny_factory
+
+        def digest(config, path, injector=None):
+            with warnings.catch_warnings():
+                warnings.simplefilter("always")
+                if injector is not None:
+                    with hooks.installed(injector):
+                        run_suite(config, manifest_path=path,
+                                  circuit_factory=tiny_factory)
+                else:
+                    run_suite(config, manifest_path=path,
+                              circuit_factory=tiny_factory)
+            return digest_of(path)
+
+        clean = digest(cfg, tmp_path / "clean.json")
+        cached = cached_cfg(cfg, tmp_path)
+        plan = FaultPlan(seed=0, faults=[
+            FaultSpec("cache.load.enter", "transient", trigger=2,
+                      arms=-1),
+            FaultSpec("cache.store.bytes", "torn", trigger=3, arms=-1),
+            FaultSpec("cache.store.write", "oserror", trigger=5,
+                      arms=-1)])
+        check_plan(plan)
+        storm = digest(cached, tmp_path / "storm.json",
+                       FaultInjector(plan))
+        assert storm == clean
+        # Post-storm warm run (fresh process-equivalent) self-heals.
+        warm = digest(cached, tmp_path / "warm.json")
+        assert warm == clean

@@ -1,0 +1,66 @@
+"""The golden fixture is cache-independent.
+
+``tests/golden/regenerate.py`` writes the fixture with the analysis
+cache *off* (the default config).  These tests prove that choice is
+immaterial: rerunning the pinned configuration with the cache enabled --
+cold and then warm over the same directory -- reproduces the fixture's
+``result_checksum`` exactly.  If this ever fails while
+``test_golden.py`` still passes, the cache is changing results, which
+is the one thing it must never do.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.manifest import RunManifest
+from repro.runtime.suite import run_suite
+from tests.golden.golden_config import FIXTURE_PATH, golden_config
+
+
+@pytest.fixture(scope="module")
+def expected_checksum():
+    return RunManifest.load(FIXTURE_PATH).result_digest()
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("golden-cache") / "cache"
+
+
+def run_cached(tmp_path_factory, cache_dir, tag):
+    config = dataclasses.replace(golden_config(), cache=True,
+                                 cache_dir=str(cache_dir))
+    path = tmp_path_factory.mktemp(f"golden-{tag}") / "manifest.json"
+    run_suite(config, manifest_path=path)
+    return RunManifest.load(path)
+
+
+class TestGoldenIsCacheIndependent:
+    def test_cold_cached_run_matches_fixture(self, tmp_path_factory,
+                                             cache_dir,
+                                             expected_checksum):
+        manifest = run_cached(tmp_path_factory, cache_dir, "cold")
+        assert manifest.result_digest() == expected_checksum
+        assert list(cache_dir.glob("*.json"))
+
+    def test_warm_cached_run_matches_fixture(self, tmp_path_factory,
+                                             cache_dir,
+                                             expected_checksum):
+        # Runs after the cold test filled the shared directory; a fresh
+        # AnalysisCache instance serves everything from disk.
+        manifest = run_cached(tmp_path_factory, cache_dir, "warm")
+        assert manifest.result_digest() == expected_checksum
+
+    def test_fixture_stores_empty_perf_masks(self):
+        # The fixture must not pin warmth-dependent counters: its stored
+        # records carry the perf subtree, but the checksum (already
+        # matched above) is computed with perf masked to {}.
+        manifest = RunManifest.load(FIXTURE_PATH)
+        reports = [rec["report"]
+                   for rec in manifest.payload()["completed"].values()]
+        assert reports
+        for report in reports:
+            perf = report["perf"]
+            assert set(perf) == {"stages", "elw_incremental", "cache"}
+            assert perf["cache"]["enabled"] is False

@@ -1,0 +1,139 @@
+"""Property tests for the packed word semantics of ``eval_gate``.
+
+Three contracts are pinned here:
+
+1. For every op in the cell library and every legal arity, the packed
+   evaluation equals the scalar reference ``evaluate_op`` bit for bit on
+   random patterns -- including pattern counts off the 64-bit word grid.
+2. The padding-bit convention: inverting ops may set padding bits to 1;
+   one ``trim`` restores the all-zero tail and never touches the valid
+   prefix.
+3. The fresh-array contract (see the ``eval_gate`` docstring): the
+   returned array never aliases an input, even for the one-input
+   degenerate gate forms and duplicated input signatures --
+   ``simulate_comb`` mutates results in place and would otherwise
+   corrupt shared signatures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist.cell_library import SUPPORTED_OPS, _ARITY, evaluate_op
+from repro.sim.bitvec import (n_words, popcount, random_patterns, to_bits,
+                              trim)
+from repro.sim.logicsim import eval_gate
+
+#: Pattern counts straddling the 64-bit word boundary.
+SIZES = (1, 7, 63, 64, 65, 100, 128, 130)
+
+INVERTING = ("NOT", "NAND", "NOR", "XNOR")
+
+GATE_OPS = [op for op in SUPPORTED_OPS if not op.startswith("CONST")]
+
+
+def arities(op):
+    lo, hi = _ARITY[op]
+    return range(lo, hi + 1)
+
+
+def cases():
+    for op in GATE_OPS:
+        for n_in in arities(op):
+            yield op, n_in
+
+
+@pytest.mark.parametrize("op,n_in", list(cases()),
+                         ids=lambda v: str(v))
+class TestPackedMatchesScalar:
+    def test_random_patterns_all_sizes(self, op, n_in):
+        rng = np.random.default_rng(hash((op, n_in)) % 2**32)
+        for n_patterns in SIZES:
+            sigs = [random_patterns(n_patterns, rng)
+                    for _ in range(n_in)]
+            out = trim(eval_gate(op, sigs, n_patterns), n_patterns)
+            got = to_bits(out, n_patterns)
+            cols = [to_bits(s, n_patterns) for s in sigs]
+            want = np.array([evaluate_op(op, [int(c[k]) for c in cols])
+                             for k in range(n_patterns)], dtype=np.uint8)
+            assert np.array_equal(got, want), \
+                f"{op}/{n_in} at {n_patterns} patterns"
+
+    def test_result_never_aliases_inputs(self, op, n_in):
+        rng = np.random.default_rng(0)
+        sigs = [random_patterns(130, rng) for _ in range(n_in)]
+        out = eval_gate(op, sigs, 130)
+        for sig in sigs:
+            assert not np.shares_memory(out, sig)
+
+
+class TestPaddingAndTrim:
+    @pytest.mark.parametrize("op", INVERTING)
+    @pytest.mark.parametrize("n_patterns", [p for p in SIZES if p % 64])
+    def test_inverting_ops_set_padding_and_trim_clears_it(
+            self, op, n_patterns):
+        n_in = _ARITY[op][0]
+        sigs = [np.zeros(n_words(n_patterns), dtype=np.uint64)
+                for _ in range(n_in)]
+        out = eval_gate(op, sigs, n_patterns)
+        # All-zero inputs: every valid bit is 1 -- and so is every
+        # padding bit, because the inversion is a full-word XOR.
+        assert popcount(out) == 64 * n_words(n_patterns)
+        trim(out, n_patterns)
+        assert popcount(out) == n_patterns
+        assert np.array_equal(to_bits(out, n_patterns),
+                              np.ones(n_patterns, dtype=np.uint8))
+
+    @pytest.mark.parametrize("op,n_in", list(cases()),
+                             ids=lambda v: str(v))
+    def test_trim_never_changes_valid_bits(self, op, n_in):
+        rng = np.random.default_rng(99)
+        for n_patterns in (7, 65, 130):
+            sigs = [random_patterns(n_patterns, rng)
+                    for _ in range(n_in)]
+            out = eval_gate(op, sigs, n_patterns)
+            before = to_bits(out.copy(), n_patterns)
+            after = to_bits(trim(out, n_patterns), n_patterns)
+            assert np.array_equal(before, after)
+
+
+class TestDegenerateOneInputForms:
+    """A single-input AND/OR/XOR is a BUF; NAND/NOR/XNOR a NOT.
+
+    These arise transiently inside netlist transforms; their aliasing
+    behaviour is the original motivation for the fresh-array contract.
+    """
+
+    @pytest.mark.parametrize("op,ref", [("AND", "BUF"), ("OR", "BUF"),
+                                        ("XOR", "BUF"), ("NAND", "NOT"),
+                                        ("NOR", "NOT"), ("XNOR", "NOT")])
+    def test_semantics_match_buf_or_not(self, op, ref):
+        rng = np.random.default_rng(5)
+        sig = random_patterns(100, rng)
+        out = trim(eval_gate(op, [sig], 100), 100)
+        want = trim(eval_gate(ref, [sig.copy()], 100), 100)
+        assert np.array_equal(out, want)
+
+    @pytest.mark.parametrize("op", ["BUF", "NOT", "AND", "OR", "XOR",
+                                    "NAND", "NOR", "XNOR"])
+    def test_one_input_result_is_fresh(self, op):
+        rng = np.random.default_rng(6)
+        sig = random_patterns(130, rng)
+        out = eval_gate(op, [sig], 130)
+        assert not np.shares_memory(out, sig)
+        # Mutating the result must not leak into the input.
+        snapshot = sig.copy()
+        out[:] = 0
+        assert np.array_equal(sig, snapshot)
+
+    @pytest.mark.parametrize("op", ["AND", "OR", "XOR", "NAND", "NOR",
+                                    "XNOR"])
+    def test_duplicated_input_array_is_safe(self, op):
+        # The same ndarray object wired to every pin of one gate.
+        rng = np.random.default_rng(8)
+        sig = random_patterns(100, rng)
+        out = eval_gate(op, [sig, sig, sig][:max(2, _ARITY[op][0])], 100)
+        assert not np.shares_memory(out, sig)
+        snapshot = sig.copy()
+        trim(out, 100)
+        out ^= np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert np.array_equal(sig, snapshot)
