@@ -9,6 +9,13 @@ itself is close to free by timing the same suite twice:
   verification work and are reported separately, not as overhead).
 
 Target: < 2 % wall-clock overhead on the default suite settings.
+
+The telemetry plane rides on the same gate: with no tracer installed
+every instrumentation point is a single ``None`` test plus the
+always-on metrics-registry counters, so the "resilient" measurement
+*is* the tracing-disabled measurement and the < 2 % target covers it.
+A traced run is timed separately (it writes a JSONL span file and is
+expected to cost more) and reported, not gated.
 """
 
 from __future__ import annotations
@@ -37,10 +44,12 @@ def _bare_suite() -> list[dict]:
     return rows
 
 
-def _resilient_suite(guard: bool) -> list[dict]:
+def _resilient_suite(guard: bool, trace_path: str | None = None,
+                     ) -> list[dict]:
     config = SuiteConfig(circuits=_ROWS, scale=bench_scale(), seed=0,
                          n_frames=bench_frames(),
-                         n_patterns=bench_patterns(), guard=guard)
+                         n_patterns=bench_patterns(), guard=guard,
+                         trace_path=trace_path)
     return run_suite(config).rows
 
 
@@ -65,6 +74,14 @@ def test_resilient_with_guard(benchmark):
     assert all(row["status"] == "ok" for row in rows)
 
 
+def test_resilient_traced(benchmark, tmp_path):
+    trace = str(tmp_path / "bench.jsonl")
+    t0 = time.perf_counter()
+    rows = once(benchmark, _resilient_suite, False, trace)
+    _TIMES["traced"] = time.perf_counter() - t0
+    assert all(row["status"] == "ok" for row in rows)
+
+
 def test_overhead_report(capsys):
     if "bare" not in _TIMES or "resilient" not in _TIMES:
         pytest.skip("timing tests did not run")
@@ -72,6 +89,7 @@ def test_overhead_report(capsys):
     resilient = _TIMES["resilient"]
     overhead = 100.0 * (resilient - bare) / bare
     guarded = _TIMES.get("guarded")
+    traced = _TIMES.get("traced")
     with capsys.disabled():
         print(f"\nruntime overhead: bare={bare:.2f}s "
               f"resilient(no guard)={resilient:.2f}s "
@@ -79,6 +97,12 @@ def test_overhead_report(capsys):
         if guarded is not None:
             print(f"guard cost: {100.0 * (guarded - bare) / bare:+.2f}% "
                   f"({guarded:.2f}s total)")
-    # the executor wrapper itself must be close to free; allow slack
-    # well above the 2% target so scheduler noise cannot flake the suite
+        if traced is not None:
+            print(f"span tracing cost: "
+                  f"{100.0 * (traced - resilient) / resilient:+.2f}% "
+                  f"over resilient ({traced:.2f}s total)")
+    # the executor wrapper (which includes the tracing-off telemetry
+    # instrumentation: one None test per span point, always-on metric
+    # counters) must be close to free; allow slack well above the 2%
+    # target so scheduler noise cannot flake the suite
     assert overhead < 10.0

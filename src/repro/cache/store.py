@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from ..faultplane.hooks import fault_point, filter_bytes
+from ..telemetry import REGISTRY, spans as telemetry
 
 CACHE_FORMAT = "repro-analysis-cache"
 CACHE_VERSION = 1
@@ -174,18 +175,28 @@ class AnalysisCache:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
+            self._note_load(kind, hit=True, tier="memory")
             return self._memory[key]
         path = self.entry_path(kind, key)
         if path is None:
             self.stats.misses += 1
+            self._note_load(kind, hit=False, tier="memory")
             return MISS
         value = self._read_entry(path, kind, circuit_digest, key)
         if value is MISS:
             self.stats.misses += 1
+            self._note_load(kind, hit=False, tier="disk")
             return MISS
         self.stats.hits += 1
+        self._note_load(kind, hit=True, tier="disk")
         self._remember(key, value)
         return value
+
+    @staticmethod
+    def _note_load(kind: str, hit: bool, tier: str) -> None:
+        REGISTRY.counter("cache.hits" if hit else "cache.misses",
+                         help="Analysis-cache lookups by outcome").inc()
+        telemetry.event("cache.load", kind=kind, hit=hit, tier=tier)
 
     def _read_entry(self, path: str, kind: str, circuit_digest: str,
                     key: str) -> Any:
@@ -203,6 +214,9 @@ class AnalysisCache:
                            evict=False)
             return MISS
         self.stats.bytes_read += len(data)
+        REGISTRY.counter("cache.bytes_read",
+                         help="Bytes read from the disk cache tier"
+                         ).inc(len(data))
         try:
             payload = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -286,6 +300,13 @@ class AnalysisCache:
             return
         self.stats.stores += 1
         self.stats.bytes_written += len(data)
+        REGISTRY.counter("cache.stores",
+                         help="Entries written to the disk cache tier"
+                         ).inc()
+        REGISTRY.counter("cache.bytes_written",
+                         help="Bytes written to the disk cache tier"
+                         ).inc(len(data))
+        telemetry.event("cache.store", kind=kind, bytes=len(data))
 
     # ------------------------------------------------------------------
     # Internals
@@ -299,8 +320,14 @@ class AnalysisCache:
 
     def _complain(self, message: str, evict: bool) -> None:
         self.stats.errors += 1
+        REGISTRY.counter("cache.errors",
+                         help="Cache entries that failed to read or "
+                              "write").inc()
         if evict:
             self.stats.evictions += 1
+            REGISTRY.counter("cache.evictions",
+                             help="Corrupt cache entries self-evicted"
+                             ).inc()
         warnings.warn(message, CacheWarning, stacklevel=4)
 
     def _evict(self, path: str, message: str) -> None:

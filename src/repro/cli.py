@@ -15,6 +15,12 @@ Subcommands
 ``chaos``
     Run the suite under deterministic fault injection and print a
     recovery scorecard (see :mod:`repro.faultplane`).
+``trace``
+    Render a span trace written by ``--trace`` (``summarize`` / ``top``
+    / ``flame``; see :mod:`repro.telemetry`).
+
+``table1`` and ``chaos`` accept ``--trace``/``--trace-dir`` (structured
+span trace of the run) and ``--metrics-out`` (metrics-registry dump).
 
 Every command honours the ``REPRO_FAULT_PLAN`` environment variable
 (inline fault-plan JSON or a path): when set, the named injection sites
@@ -130,6 +136,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from .ser.report import format_comparison
 
     names = args.circuits or [row.name for row in TABLE1_ROWS]
+    trace_path = _trace_path(args, "table1")
     config = SuiteConfig(
         circuits=tuple(names), scale=args.scale, seed=args.seed,
         n_frames=args.frames, n_patterns=args.patterns,
@@ -137,7 +144,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         deadline=args.deadline, max_retries=args.max_retries,
         strict=args.strict, guard=not args.no_guard,
         workers=args.workers, cache=_use_cache(args),
-        cache_dir=args.cache_dir)
+        cache_dir=args.cache_dir, trace_path=trace_path)
     progress = (lambda line: print(line, file=sys.stderr)) \
         if args.verbose else None
     suite = run_suite(config, manifest_path=args.resume, progress=progress)
@@ -153,7 +160,32 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
         save_results(suite.reports, args.json)
         print(f"JSON report written to {args.json}", file=sys.stderr)
+    _finish_telemetry(args, trace_path)
     return 0
+
+
+def _trace_path(args: argparse.Namespace, command: str) -> str | None:
+    """Resolve the ``--trace`` / ``--trace-dir`` pair to one file path."""
+    if args.trace:
+        return args.trace
+    if args.trace_dir:
+        import os
+
+        return os.path.join(args.trace_dir, f"trace-{command}.jsonl")
+    return None
+
+
+def _finish_telemetry(args: argparse.Namespace,
+                      trace_path: str | None) -> None:
+    """Post-run telemetry outputs: trace notice and metrics dump."""
+    if trace_path:
+        print(f"span trace written to {trace_path}", file=sys.stderr)
+    if args.metrics_out:
+        from .telemetry import REGISTRY
+
+        REGISTRY.write(args.metrics_out)
+        print(f"metrics dump written to {args.metrics_out}",
+              file=sys.stderr)
 
 
 def _use_cache(args: argparse.Namespace) -> bool:
@@ -204,12 +236,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
         print(f"analysis cache for chaos run in {cache_dir}",
               file=sys.stderr)
+    trace_path = _trace_path(args, "chaos")
+    if trace_path and args.kill_prob > 0:
+        # The kill harness re-runs the CLI in subprocesses; a hard kill
+        # mid-append could tear the shared trace file in the middle of
+        # the stream, so tracing covers the in-process modes only.
+        print("warning: --trace is ignored with --kill-prob "
+              "(subprocess harness)", file=sys.stderr)
+        trace_path = None
     config = SuiteConfig(
         circuits=tuple(names), scale=args.scale,
         seed=args.experiment_seed, n_frames=args.frames,
         n_patterns=args.patterns, deadline=args.deadline,
         max_retries=args.max_retries, workers=args.workers,
-        cache=use_cache, cache_dir=cache_dir)
+        cache=use_cache, cache_dir=cache_dir, trace_path=trace_path)
     # Kill mode arms only kill faults by default: a deterministic
     # always-firing fault would make every restart fail identically.
     kinds = args.kinds
@@ -250,7 +290,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(card.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"scorecard written to {args.json}", file=sys.stderr)
+    _finish_telemetry(args, trace_path)
     return 1 if card.wrong_answers else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.traceview import (flame, load_trace, summarize_trace,
+                                      top_spans)
+
+    trace = load_trace(args.trace_file)
+    if args.action == "summarize":
+        print(summarize_trace(trace))
+    elif args.action == "top":
+        print(top_spans(trace, limit=args.limit))
+    else:
+        print(flame(trace, max_depth=args.depth))
+    return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -303,6 +358,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-stage wall-clock budget; an expired "
                             "solve yields its best feasible retiming "
                             "(table1 degrades, retime/compare abort)")
+
+    def trace_opts(p):
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a structured span trace (JSONL) of "
+                            "the run here; read it back with "
+                            "'repro-ser trace'")
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="like --trace, but pick the file name "
+                            "(trace-<command>.jsonl) inside DIR")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="dump the metrics registry after the run "
+                            "(JSON, or Prometheus text for .prom/.txt)")
 
     def cache_opts(p):
         p.add_argument("--cache", action="store_true",
@@ -359,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     solver_opts(p)
     cache_opts(p)
+    trace_opts(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser(
@@ -413,7 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "(fault plans propagate with per-shard seeds)")
     p.add_argument("-v", "--verbose", action="store_true")
     cache_opts(p)
+    trace_opts(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a span trace written by --trace (summarize/top/"
+             "flame)")
+    p.add_argument("action", choices=("summarize", "top", "flame"),
+                   help="summarize: per-circuit stage breakdown; top: "
+                        "spans ranked by self time; flame: indented "
+                        "span tree")
+    p.add_argument("trace_file", help="trace JSONL file to read")
+    p.add_argument("-n", "--limit", type=int, default=15,
+                   help="rows shown by 'top'")
+    p.add_argument("--depth", type=int, default=None,
+                   help="maximum tree depth shown by 'flame'")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("generate", help="emit a synthetic benchmark")
     p.add_argument("output")

@@ -27,6 +27,7 @@ import numpy as np
 from ..cache import cached, timing_digest
 from ..graph.retiming_graph import RetimingGraph
 from ..netlist.circuit import Circuit
+from ..telemetry import REGISTRY, spans as telemetry
 from .intervals import IntervalSet
 
 
@@ -93,12 +94,13 @@ def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
     uses :func:`repro.cache.timing_digest`, not the purely functional
     fingerprint.
     """
-    params = {"phi": float(phi), "setup": float(setup),
-              "hold": float(hold)}
-    return cached("elw", timing_digest(circuit), params,
-                  compute=lambda: _circuit_elws_impl(circuit, phi, setup,
-                                                     hold),
-                  encode=_encode_elws, decode=_decode_elws)
+    with telemetry.span("elw", circuit=circuit.name):
+        params = {"phi": float(phi), "setup": float(setup),
+                  "hold": float(hold)}
+        return cached("elw", timing_digest(circuit), params,
+                      compute=lambda: _circuit_elws_impl(circuit, phi,
+                                                         setup, hold),
+                      encode=_encode_elws, decode=_decode_elws)
 
 
 def _circuit_elws_impl(circuit: Circuit, phi: float, setup: float,
@@ -180,6 +182,32 @@ def incremental_circuit_elws(circuit: Circuit, base_circuit: Circuit,
     the result is always element-wise equal to
     ``circuit_elws(circuit, phi, setup, hold)``.
     """
+    with telemetry.span("elw.incremental", circuit=circuit.name):
+        elws, stats = _incremental_circuit_elws(
+            circuit, base_circuit, base_elws, phi, setup, hold)
+        telemetry.add_attrs(reused=stats["reused"],
+                            recomputed=stats["recomputed"],
+                            fallback=bool(stats["fallback"]))
+    REGISTRY.counter("elw.incremental.reused",
+                     help="Nets whose base ELW was reused").inc(
+        stats["reused"])
+    REGISTRY.counter("elw.incremental.recomputed",
+                     help="Nets whose ELW was recomputed").inc(
+        stats["recomputed"])
+    if stats["fallback"]:
+        REGISTRY.counter(
+            "elw.incremental.fallbacks",
+            help="Incremental ELW runs that fell back to a full "
+                 "recompute").inc()
+    return elws, stats
+
+
+def _incremental_circuit_elws(circuit: Circuit, base_circuit: Circuit,
+                              base_elws: Mapping[str, IntervalSet],
+                              phi: float, setup: float = 0.0,
+                              hold: float = 2.0,
+                              ) -> tuple[dict[str, IntervalSet],
+                                         dict[str, int | bool]]:
     # Retiming rewires gate *input nets* (register chains are spliced in
     # and out of wires) but preserves every gate's name, op and arity --
     # and with them its delay.  That is all the reuse rule needs: the

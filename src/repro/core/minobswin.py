@@ -36,6 +36,7 @@ import numpy as np
 
 from ..errors import DeadlineExceeded, InfeasibleError, RetimingError
 from ..faultplane.hooks import fault_point, filter_labels
+from ..telemetry import REGISTRY, spans as telemetry
 from .constraints import Problem, Violation, check_constraints, find_violations
 from .regular_forest import RegularForest
 
@@ -142,81 +143,116 @@ def minobswin_retiming(problem: Problem, r0: np.ndarray,
     trace: list[tuple] = []
     iterations = commits = passes = constraints_added = blocked = 0
 
-    while True:
-        passes += 1
-        fault_point("solve.pass", stage=stage, passes=passes)
-        pass_commits = 0
-        forest.reset()
-        multiplier = 1
-        seen_diagnoses: dict[tuple, int] = {}
+    # Solver introspection: one "solve" span around the whole run and a
+    # per-iteration span at each of the main loop's exits (exhausted /
+    # commit / backoff / diagnose), carrying the objective and counters
+    # at that moment.  ``tracer`` is bound once; with tracing off every
+    # iteration pays a single ``is not None`` test.
+    tracer = telemetry.active()
 
+    def _trace_iteration(t0: float, action: str) -> None:
+        tracer.emit_span("solver.iteration", t0, {
+            "i": iterations, "pass": passes, "action": action,
+            "objective": int(problem.objective(r)), "commits": commits,
+            "constraints": constraints_added, "blocked": blocked,
+            "stage": stage})
+
+    with telemetry.span("solve", algorithm=stage):
         while True:
-            iterations += 1
-            if iterations > max_iterations:
-                raise RetimingError(
-                    f"solver exceeded {max_iterations} iterations; "
-                    "this indicates a diagnosis loop (please report)")
-            now = time.perf_counter()
-            cancelled = should_stop is not None and should_stop()
-            if cancelled or (deadline_at is not None and now > deadline_at):
-                elapsed = now - start
-                partial = RetimingResult(
-                    r=r.copy(), objective=problem.objective(r),
-                    commits=commits, iterations=iterations, passes=passes,
-                    constraints_added=constraints_added, blocked=blocked,
-                    runtime=elapsed, trace=trace)
-                reason = "cancelled by should_stop" if cancelled else \
-                    f"exceeded its {deadline:g}s deadline"
-                raise DeadlineExceeded(
-                    f"{stage} solve {reason} after {elapsed:.3f}s "
-                    f"({commits} commits so far)", stage=stage,
-                    elapsed=elapsed, best_r=r.copy(), partial=partial)
-            delta = forest.positive_delta()
-            if not delta.any():
-                break  # pass exhausted
+            passes += 1
+            fault_point("solve.pass", stage=stage, passes=passes)
+            pass_commits = 0
+            forest.reset()
+            multiplier = 1
+            seen_diagnoses: dict[tuple, int] = {}
 
-            move = delta * multiplier
-            tentative = r - move
-            violations = find_violations(problem, tentative, move,
-                                         skip_p2=skip_p2)
-            if not violations:
-                r = tentative
-                commits += 1
-                pass_commits += 1
-                if keep_trace:
-                    trace.append(
-                        ("commit", int((problem.b * move).sum())))
-                if jump:
-                    multiplier *= 2
-                continue
+            while True:
+                iterations += 1
+                iter_t0 = tracer.now() if tracer is not None else 0.0
+                if iterations > max_iterations:
+                    raise RetimingError(
+                        f"solver exceeded {max_iterations} iterations; "
+                        "this indicates a diagnosis loop (please report)")
+                now = time.perf_counter()
+                cancelled = should_stop is not None and should_stop()
+                if cancelled or (deadline_at is not None
+                                 and now > deadline_at):
+                    elapsed = now - start
+                    partial = RetimingResult(
+                        r=r.copy(), objective=problem.objective(r),
+                        commits=commits, iterations=iterations,
+                        passes=passes,
+                        constraints_added=constraints_added,
+                        blocked=blocked, runtime=elapsed, trace=trace)
+                    reason = "cancelled by should_stop" if cancelled else \
+                        f"exceeded its {deadline:g}s deadline"
+                    raise DeadlineExceeded(
+                        f"{stage} solve {reason} after {elapsed:.3f}s "
+                        f"({commits} commits so far)", stage=stage,
+                        elapsed=elapsed, best_r=r.copy(), partial=partial)
+                delta = forest.positive_delta()
+                if not delta.any():
+                    if tracer is not None:
+                        _trace_iteration(iter_t0, "exhausted")
+                    break  # pass exhausted
 
-            if multiplier > 1:
-                # Diagnose at unit step for exact active constraints.
-                multiplier = 1
-                continue
+                move = delta * multiplier
+                tentative = r - move
+                violations = find_violations(problem, tentative, move,
+                                             skip_p2=skip_p2)
+                if not violations:
+                    r = tentative
+                    commits += 1
+                    pass_commits += 1
+                    if keep_trace:
+                        trace.append(
+                            ("commit", int((problem.b * move).sum())))
+                    if jump:
+                        multiplier *= 2
+                    if tracer is not None:
+                        _trace_iteration(iter_t0, "commit")
+                    continue
 
-            # The whole batch shares one timing pass: every diagnosis is
-            # a sound implication for the same tentative move.
-            for violation in violations:
-                key = (violation.kind, violation.p, violation.q,
-                       violation.deficit)
-                seen_diagnoses[key] = seen_diagnoses.get(key, 0) + 1
-                outcome = _apply_violation(forest, violation, delta,
-                                           repeat=seen_diagnoses[key])
-                if outcome == "constraint":
-                    constraints_added += 1
-                else:
-                    blocked += 1
-                if keep_trace:
-                    trace.append(
-                        ("constraint", violation.kind, violation.p,
-                         violation.q, violation.deficit, outcome))
+                if multiplier > 1:
+                    # Diagnose at unit step for exact active constraints.
+                    multiplier = 1
+                    if tracer is not None:
+                        _trace_iteration(iter_t0, "backoff")
+                    continue
 
-        if pass_commits == 0 or not restart:
-            break
+                # The whole batch shares one timing pass: every diagnosis
+                # is a sound implication for the same tentative move.
+                for violation in violations:
+                    key = (violation.kind, violation.p, violation.q,
+                           violation.deficit)
+                    seen_diagnoses[key] = seen_diagnoses.get(key, 0) + 1
+                    outcome = _apply_violation(forest, violation, delta,
+                                               repeat=seen_diagnoses[key])
+                    if outcome == "constraint":
+                        constraints_added += 1
+                    else:
+                        blocked += 1
+                    if keep_trace:
+                        trace.append(
+                            ("constraint", violation.kind, violation.p,
+                             violation.q, violation.deficit, outcome))
+                if tracer is not None:
+                    _trace_iteration(iter_t0, "diagnose")
 
-    r = filter_labels("solve.result.labels", r)
-    objective = problem.objective(r)
+            if pass_commits == 0 or not restart:
+                break
+
+        r = filter_labels("solve.result.labels", r)
+        objective = problem.objective(r)
+        if tracer is not None:
+            tracer.add_attrs(iterations=iterations, commits=commits,
+                             passes=passes, objective=int(objective))
+    REGISTRY.counter(
+        "solver.iterations",
+        help="MinObs/MinObsWin main-loop iterations").inc(iterations)
+    REGISTRY.counter(
+        "solver.commits",
+        help="Committed retiming updates (#J)").inc(commits)
     return RetimingResult(
         r=r, objective=objective, commits=commits, iterations=iterations,
         passes=passes, constraints_added=constraints_added, blocked=blocked,

@@ -157,3 +157,13 @@ class SimulationError(ReproError):
 
 class AnalysisError(ReproError):
     """SER / observability analysis failed."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry operation failed (bad trace file, metric kind clash).
+
+    Instrumentation call sites never raise this -- a broken tracer must
+    not take the pipeline down -- only the explicit telemetry APIs do:
+    registering a metric under a conflicting kind, merging an unreadable
+    shard trace, or loading a malformed trace file in the viewer.
+    """

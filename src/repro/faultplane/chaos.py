@@ -356,7 +356,13 @@ def run_chaos(config, plan: FaultPlan,
     card.tally_failures(suite.failures)
 
     if verify:
-        reference = run_suite(config, circuit_factory=circuit_factory)
+        # The clean reference must not trace: a second pass appending to
+        # the same trace file would duplicate every span of the chaos
+        # run it is meant to verify.
+        from dataclasses import replace
+
+        reference = run_suite(replace(config, trace_path=None),
+                              circuit_factory=circuit_factory)
         for run, ref in zip(suite.runs, reference.runs):
             issues = verify_run(run, ref, config.algorithms)
             card.wrong_details.extend(issues)
@@ -605,7 +611,10 @@ def run_kill_chaos(config, plan: FaultPlan, workdir: str,
         card.wrong_details.append(
             f"final manifest is missing circuits: {', '.join(missing)}")
     if verify:
-        reference = run_suite(config)
+        from dataclasses import replace
+
+        # Clean reference: no faults and no tracing (see run_chaos).
+        reference = run_suite(replace(config, trace_path=None))
         by_name = {run.name: run for run in reference.runs}
         for run in runs:
             card.wrong_details.extend(

@@ -46,6 +46,7 @@ from fnmatch import fnmatchcase
 from typing import Any
 
 from ..errors import DeadlineExceeded, FaultPlanError
+from ..telemetry import REGISTRY, spans as telemetry
 from . import hooks
 from .sites import FAULT_KINDS, FILTER_KINDS, VISIT_KINDS
 
@@ -238,6 +239,17 @@ class FaultInjector:
         self.fired[index] += 1
         event = InjectionEvent(site=site, kind=spec.kind,
                                call=self.calls[index], context=context)
+        # Telemetry crossover: the firing becomes a trace event, and the
+        # id of the span it fired inside lands in the event context --
+        # scorecards serialize scalar context values, so a chaos report
+        # can cite exactly which traced region each fault hit.
+        span_id = telemetry.current_span_id()
+        if span_id is not None:
+            event.context.setdefault("span_id", span_id)
+        telemetry.event("fault.fired", site=site, kind=spec.kind,
+                        call=event.call)
+        REGISTRY.counter("faultplane.fired",
+                         help="Fault-plane injections that fired").inc()
         self.events.append(event)
         return event
 

@@ -105,6 +105,8 @@ def summarize(results: Sequence[Mapping[str, Any]]) -> dict[str, float]:
 
     d_ref, d_new, ratio, ff_ref, ff_new = [], [], [], [], []
     for r in results:
+        if "algorithms" not in r:
+            continue  # failure report (perf/failures only): nothing to average
         algs = r["algorithms"]
         base = r["ser_original"]["total"]
         if "minobs" in algs:

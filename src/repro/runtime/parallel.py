@@ -71,6 +71,9 @@ from ..errors import ExecutionError, ManifestError, WorkerCrashError
 from ..faultplane import hooks
 from ..faultplane.plan import FaultInjector, FaultPlan, derive_shard_plan
 from ..netlist.circuit import Circuit
+from ..telemetry import Tracer
+from ..telemetry import spans as telemetry
+from ..telemetry.spans import merge_shard_traces, shard_trace_path
 from .manifest import CircuitRecord, RunManifest
 from .suite import CircuitRun, SuiteConfig, SuiteResult
 
@@ -182,11 +185,18 @@ def _parent_watchdog(parent_pid: int, poll_seconds: float = 1.0) -> None:
     os._exit(1)
 
 
-def _worker_init() -> None:
-    """Pool-worker initializer: start the orphan watchdog."""
+def _worker_init(parent_pid: int) -> None:
+    """Pool-worker initializer: start the orphan watchdog.
+
+    ``parent_pid`` is captured by the *parent* at pool creation, not
+    via ``os.getppid()`` here: a worker whose parent is hard-killed
+    during worker startup would otherwise record the pid it was
+    reparented to (init or a subreaper) and poll it forever, surviving
+    as exactly the orphan the watchdog exists to reap.
+    """
     import threading
 
-    threading.Thread(target=_parent_watchdog, args=(os.getppid(),),
+    threading.Thread(target=_parent_watchdog, args=(parent_pid,),
                      daemon=True).start()
 
 
@@ -218,13 +228,28 @@ def _shard_worker(shard_index: int, names: tuple[str, ...],
         injector = FaultInjector(plan, stats_path=stats_path)
         hooks.install(injector)
 
+    # Per-shard span tracer: the forked copy of any parent tracer holds
+    # a shared file handle and must not be written through; each worker
+    # traces to its own <trace>.shard-NN.jsonl with an id prefix that
+    # keeps span ids globally unique, and the parent merges the shards
+    # after the pool drains.
+    telemetry.uninstall()
+    tracer = None
+    if config.trace_path is not None:
+        tracer = Tracer(shard_trace_path(config.trace_path, shard_index),
+                        prefix=f"s{shard_index:02d}-",
+                        meta={"kind": "shard", "shard": shard_index,
+                              "circuits": list(names)})
+        telemetry.install(tracer)
+
     lines: list[tuple[str, str]] = []
 
     def push(circuit: str, line: str) -> None:
         lines.append((circuit, line))
 
     try:
-        shard_config = replace(config, circuits=tuple(names), workers=1)
+        shard_config = replace(config, circuits=tuple(names), workers=1,
+                               trace_path=None)
         result = run_suite(shard_config, manifest_path=shard_manifest,
                            circuit_factory=circuit_factory, workers=1,
                            progress_events=push)
@@ -232,6 +257,9 @@ def _shard_worker(shard_index: int, names: tuple[str, ...],
         if injector is not None:
             injector.flush_stats()
             hooks.uninstall()
+        if tracer is not None:
+            telemetry.uninstall()
+            tracer.close()
     return {
         "shard": shard_index,
         "records": [(run.name, run.to_record().to_dict())
@@ -312,7 +340,8 @@ def run_parallel_suite(config: SuiteConfig,
         emit_index = 0
 
         executor = ProcessPoolExecutor(max_workers=len(shards),
-                                       initializer=_worker_init)
+                                       initializer=_worker_init,
+                                       initargs=(os.getpid(),))
         try:
             futures = {}
             for index, shard in enumerate(shards):
@@ -381,6 +410,14 @@ def run_parallel_suite(config: SuiteConfig,
                         emit_index += 1
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
+
+    if config.trace_path is not None:
+        # All workers have returned (the success path drains the pool),
+        # so every shard trace is complete: fold them into the main
+        # trace in canonical shard order.  On a worker crash the raise
+        # above skips this, leaving the shard files on disk for
+        # post-mortem reading.
+        merge_shard_traces(config.trace_path)
 
     runs: list[CircuitRun] = []
     for name in config.circuits:

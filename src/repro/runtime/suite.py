@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from collections.abc import Callable
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -52,6 +53,8 @@ from ..pipeline import (AlgorithmOutcome, PipelineResult, build_problem,
                         run_solver, table1_row)
 from ..reporting import result_to_dict
 from ..ser.analysis import analyze_ser
+from ..telemetry import REGISTRY, MetricsRegistry, Tracer
+from ..telemetry import spans as telemetry
 from .executor import Attempt, FailureRecord, run_ladder
 from .guards import GuardReport, verify_retimed
 from .manifest import CircuitRecord, RunManifest
@@ -175,18 +178,20 @@ def cached_run_solver(circuit: Circuit, problem, r0: np.ndarray,
     digest plus ``(phi, rmin, setup, hold)`` and the integer
     observability counts, which the obs digest and pattern count pin.
     """
-    if hooks.active() is not None or deadline is not None:
-        return run_solver(problem, r0, algorithm, restart=restart,
-                          deadline=deadline)
-    params = {"algorithm": algorithm, "restart": bool(restart),
-              "phi": float(problem.phi), "rmin": float(problem.rmin),
-              "setup": float(problem.setup), "hold": float(problem.hold),
-              "r0": [int(x) for x in r0], "obs": obs_digest(obs),
-              "n_patterns": int(n_patterns)}
-    return cached("solve", timing_digest(circuit), params,
-                  compute=lambda: run_solver(problem, r0, algorithm,
-                                             restart=restart),
-                  encode=_encode_solve, decode=_decode_solve)
+    with telemetry.span("run_solver", algorithm=algorithm):
+        if hooks.active() is not None or deadline is not None:
+            return run_solver(problem, r0, algorithm, restart=restart,
+                              deadline=deadline)
+        params = {"algorithm": algorithm, "restart": bool(restart),
+                  "phi": float(problem.phi), "rmin": float(problem.rmin),
+                  "setup": float(problem.setup),
+                  "hold": float(problem.hold),
+                  "r0": [int(x) for x in r0], "obs": obs_digest(obs),
+                  "n_patterns": int(n_patterns)}
+        return cached("solve", timing_digest(circuit), params,
+                      compute=lambda: run_solver(problem, r0, algorithm,
+                                                 restart=restart),
+                      encode=_encode_solve, decode=_decode_solve)
 
 
 def cached_verify_retimed(original: Circuit, retimed: Circuit,
@@ -206,22 +211,24 @@ def cached_verify_retimed(original: Circuit, retimed: Circuit,
                               check_cycles=check_cycles,
                               n_patterns=n_patterns, seed=seed)
 
-    if hooks.active() is not None:
-        return compute()
-    params = {"retimed": timing_digest(retimed),
-              "r": [int(x) for x in r], "phi": float(phi),
-              "setup": float(setup), "exact_states": bool(exact_states),
-              "check_cycles": int(check_cycles),
-              "n_patterns": int(n_patterns), "seed": int(seed)}
-    return cached("guard", timing_digest(original), params,
-                  compute=compute,
-                  encode=lambda report: report.to_dict(),
-                  decode=lambda payload: GuardReport(
-                      ok=bool(payload["ok"]),
-                      checks=dict(payload["checks"]),
-                      first_bad_cycle=int(payload["first_bad_cycle"]),
-                      flush_cycles=int(payload["flush_cycles"]),
-                      notes=list(payload["notes"])))
+    with telemetry.span("verify"):
+        if hooks.active() is not None:
+            return compute()
+        params = {"retimed": timing_digest(retimed),
+                  "r": [int(x) for x in r], "phi": float(phi),
+                  "setup": float(setup),
+                  "exact_states": bool(exact_states),
+                  "check_cycles": int(check_cycles),
+                  "n_patterns": int(n_patterns), "seed": int(seed)}
+        return cached("guard", timing_digest(original), params,
+                      compute=compute,
+                      encode=lambda report: report.to_dict(),
+                      decode=lambda payload: GuardReport(
+                          ok=bool(payload["ok"]),
+                          checks=dict(payload["checks"]),
+                          first_bad_cycle=int(payload["first_bad_cycle"]),
+                          flush_cycles=int(payload["flush_cycles"]),
+                          notes=list(payload["notes"])))
 
 
 @dataclass(frozen=True)
@@ -268,6 +275,13 @@ class SuiteConfig:
     #: ``None`` keeps an enabled cache memory-only.  A non-``None`` value
     #: implies ``cache``.
     cache_dir: str | None = None
+    #: Write a structured span trace (:mod:`repro.telemetry`) to this
+    #: JSONL file for the duration of the run.  An execution knob like
+    #: ``workers`` and ``cache``: tracing never changes a result (the
+    #: determinism tests prove checksum invariance), so it does not
+    #: enter the fingerprint.  Parallel workers trace to
+    #: ``<trace_path>.shard-NN.jsonl`` files which the parent merges.
+    trace_path: str | None = None
 
     def fingerprint(self) -> dict[str, Any]:
         """The result-determining configuration, for manifest matching."""
@@ -393,6 +407,14 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
     degradations applied spelled out in ``row["status"]`` and every
     captured failure in ``CircuitRun.failures``.
     """
+    with telemetry.span("circuit", circuit=circuit.name):
+        run = _optimize_resilient(circuit, config)
+        telemetry.add_attrs(status=run.status)
+        return run
+
+
+def _optimize_resilient(circuit: Circuit,
+                        config: SuiteConfig) -> CircuitRun:
     t0 = time.perf_counter()
     failures: list[FailureRecord] = []
     degradations: list[str] = []
@@ -404,12 +426,66 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
                           deadline=config.deadline, strict=config.strict,
                           failures=failures)
 
+    # Perf accounting: per-stage wall clocks, analysis-cache counter
+    # deltas, incremental-ELW reuse counts and the metrics-registry
+    # delta over this circuit.  All of it lands in report["perf"], which
+    # mask_volatile masks wholesale -- timings are wall clock and cache
+    # counters depend on warmth, so none of it may enter the result
+    # checksum.  Set up *before* stage 1 so even a circuit that fails in
+    # ``prepare`` reports the timings of whatever it did run.
+    cache_obj = analysis_cache.active()
+    cache_before = cache_obj.stats.to_dict() if cache_obj is not None \
+        else None
+    metrics_before = REGISTRY.snapshot()
+    stage_times: dict[str, float] = {}
+    elw_inc = {"reused": 0, "recomputed": 0, "fallbacks": 0}
+
+    def perf_snapshot() -> dict[str, Any]:
+        cache_counters: dict[str, Any] = {"enabled": cache_obj is not None}
+        if cache_obj is not None:
+            cache_counters.update(cache_obj.stats.delta(cache_before))
+        return {"stages": dict(stage_times),
+                "elw_incremental": dict(elw_inc),
+                "cache": cache_counters,
+                "metrics": MetricsRegistry.delta(metrics_before,
+                                                 REGISTRY.snapshot())}
+
+    def failure_report(status: str) -> dict[str, Any]:
+        # The gave-up twin of the full result_to_dict report: no
+        # algorithm outcomes to serialize, but the stage timings and
+        # counters of everything that did run are preserved (satellite
+        # bugfix: failure paths used to drop perf accounting entirely).
+        return {"name": name, "status": status,
+                "degradations": list(degradations),
+                "failures": [f.to_dict() for f in failures],
+                "perf": perf_snapshot()}
+
+    def timed_ladder(stage, rungs):
+        t_stage = time.perf_counter()
+        with telemetry.span(f"stage:{stage}"):
+            try:
+                return ladder(stage, rungs)
+            finally:
+                elapsed = time.perf_counter() - t_stage
+                stage_times[stage] = elapsed
+                REGISTRY.histogram(
+                    f"stage.seconds.{stage}",
+                    help="Wall-clock seconds per pipeline stage",
+                ).observe(elapsed)
+
     # ---- stage 1: graph construction (no meaningful degradation) -----
     graph: RetimingGraph | None = None
+    t_prepare = time.perf_counter()
     try:
-        validate_circuit(circuit)
-        graph = RetimingGraph.from_circuit(circuit)
+        with telemetry.span("stage:prepare"):
+            validate_circuit(circuit)
+            graph = RetimingGraph.from_circuit(circuit)
     except Exception as exc:
+        stage_times["prepare"] = time.perf_counter() - t_prepare
+        REGISTRY.histogram(
+            "stage.seconds.prepare",
+            help="Wall-clock seconds per pipeline stage",
+        ).observe(stage_times["prepare"])
         if config.strict:
             raise
         failures.append(FailureRecord(
@@ -417,30 +493,18 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
             error=type(exc).__name__, message=str(exc),
             elapsed=time.perf_counter() - t0, attempt=0, action="gave-up"))
         return CircuitRun(name=name, row=_failed_row(name, "prepare", None),
-                          report=None, status="failed:prepare",
+                          report=failure_report("failed:prepare"),
+                          status="failed:prepare",
                           elapsed=time.perf_counter() - t0,
                           failures=failures)
+    stage_times["prepare"] = time.perf_counter() - t_prepare
+    REGISTRY.histogram(
+        "stage.seconds.prepare",
+        help="Wall-clock seconds per pipeline stage",
+    ).observe(stage_times["prepare"])
 
     setup = circuit.library.setup_time
     hold = circuit.library.hold_time
-
-    # Perf accounting: per-stage wall clocks, analysis-cache counter
-    # deltas and incremental-ELW reuse counts.  All of it lands in
-    # report["perf"], which mask_volatile masks wholesale -- timings are
-    # wall clock and cache counters depend on warmth, so none of it may
-    # enter the result checksum.
-    cache_obj = analysis_cache.active()
-    cache_before = cache_obj.stats.to_dict() if cache_obj is not None \
-        else None
-    stage_times: dict[str, float] = {}
-    elw_inc = {"reused": 0, "recomputed": 0, "fallbacks": 0}
-
-    def timed_ladder(stage, rungs):
-        t_stage = time.perf_counter()
-        try:
-            return ladder(stage, rungs)
-        finally:
-            stage_times[stage] = time.perf_counter() - t_stage
 
     def run_stages() -> CircuitRun:
         # ---- stage 2: observability (retry-with-reseed, memoized) ----
@@ -559,12 +623,7 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
         report["failures"] = [f.to_dict() for f in failures]
         if guards:
             report["guards"] = guards
-        cache_counters: dict[str, Any] = {"enabled": cache_obj is not None}
-        if cache_obj is not None:
-            cache_counters.update(cache_obj.stats.delta(cache_before))
-        report["perf"] = {"stages": dict(stage_times),
-                          "elw_incremental": dict(elw_inc),
-                          "cache": cache_counters}
+        report["perf"] = perf_snapshot()
         return CircuitRun(name=name, row=row, report=report, status=status,
                           elapsed=time.perf_counter() - t0,
                           failures=failures, result=result)
@@ -580,7 +639,8 @@ def optimize_resilient(circuit: Circuit, config: SuiteConfig) -> CircuitRun:
             error=type(exc).__name__, message=str(exc),
             elapsed=time.perf_counter() - t0, attempt=0, action="gave-up"))
         return CircuitRun(name=name, row=_failed_row(name, str(stage), graph),
-                          report=None, status=f"failed:{stage}",
+                          report=failure_report(f"failed:{stage}"),
+                          status=f"failed:{stage}",
                           elapsed=time.perf_counter() - t0,
                           failures=failures)
 
@@ -634,17 +694,42 @@ def run_suite(config: SuiteConfig,
                                   circuit_factory=circuit_factory,
                                   workers=n_workers)
 
-    if config.cache or config.cache_dir is not None:
-        # Opt-in analysis cache for the duration of the run.  Each
-        # worker of a parallel run takes this branch inside its own
-        # process (the shard path re-enters run_suite with workers=1),
-        # so a shared cache_dir is the cross-process tier.
-        with analysis_cache.activated(
-                analysis_cache.AnalysisCache(config.cache_dir)):
-            return _run_suite_serial(config, manifest_path, progress,
-                                     circuit_factory, progress_events)
-    return _run_suite_serial(config, manifest_path, progress,
-                             circuit_factory, progress_events)
+    with _maybe_tracing(config):
+        if config.cache or config.cache_dir is not None:
+            # Opt-in analysis cache for the duration of the run.  Each
+            # worker of a parallel run takes this branch inside its own
+            # process (the shard path re-enters run_suite with
+            # workers=1), so a shared cache_dir is the cross-process
+            # tier.
+            with analysis_cache.activated(
+                    analysis_cache.AnalysisCache(config.cache_dir)):
+                return _run_suite_serial(config, manifest_path, progress,
+                                         circuit_factory, progress_events)
+        return _run_suite_serial(config, manifest_path, progress,
+                                 circuit_factory, progress_events)
+
+
+@contextmanager
+def _maybe_tracing(config: SuiteConfig):
+    """Install a span tracer at ``config.trace_path`` for one run.
+
+    A no-op when tracing is off or a tracer is already installed -- a
+    parallel worker traces to its shard file (installed by
+    :mod:`repro.runtime.parallel` before it re-enters :func:`run_suite`),
+    and the inner call must not displace it.
+    """
+    if config.trace_path is None or telemetry.active() is not None:
+        yield None
+        return
+    tracer = Tracer(config.trace_path,
+                    meta={"kind": "suite", "circuits": list(config.circuits),
+                          "seed": config.seed})
+    previous = telemetry.install(tracer)
+    try:
+        yield tracer
+    finally:
+        telemetry.install(previous)
+        tracer.close()
 
 
 def _run_suite_serial(config: SuiteConfig,

@@ -30,6 +30,7 @@ from ..errors import AnalysisError
 from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
 from ..sim.odc import observability
+from ..telemetry import spans as telemetry
 from .rates import RateModel
 
 
@@ -156,19 +157,22 @@ def analyze_ser(circuit: Circuit, phi: float,
                                  rate_model, n_frames, n_patterns, seed,
                                  electrical_tau, latch_width, elws)
 
-    if elws is not None:
-        return compute()
-    params = {
-        "phi": float(phi), "setup": float(setup), "hold": float(hold),
-        "rate_model": [rate_model.name, float(rate_model.unit)],
-        "electrical_tau": electrical_tau,
-        "latch_width": float(latch_width),
-        "obs": obs_digest(obs) if obs is not None else None,
-        "sim": None if obs is not None
-        else [int(n_frames), int(n_patterns), int(seed)],
-    }
-    return cached("ser", timing_digest(circuit), params, compute=compute,
-                  encode=_encode_ser, decode=_decode_ser)
+    with telemetry.span("ser.analyze", circuit=circuit.name,
+                        incremental=elws is not None):
+        if elws is not None:
+            return compute()
+        params = {
+            "phi": float(phi), "setup": float(setup), "hold": float(hold),
+            "rate_model": [rate_model.name, float(rate_model.unit)],
+            "electrical_tau": electrical_tau,
+            "latch_width": float(latch_width),
+            "obs": obs_digest(obs) if obs is not None else None,
+            "sim": None if obs is not None
+            else [int(n_frames), int(n_patterns), int(seed)],
+        }
+        return cached("ser", timing_digest(circuit), params,
+                      compute=compute,
+                      encode=_encode_ser, decode=_decode_ser)
 
 
 def _analyze_ser_impl(circuit: Circuit, phi: float, setup: float,

@@ -33,6 +33,7 @@ from ..cache import cached
 from ..errors import AnalysisError
 from ..faultplane.hooks import fault_point
 from ..netlist.circuit import Circuit
+from ..telemetry import spans as telemetry
 from .bitvec import all_ones, all_zeros, fraction_of_ones, random_patterns, trim
 from .logicsim import eval_gate, simulate_comb
 from .sequential import SequentialSimulator, reset_state
@@ -160,14 +161,17 @@ def observability(circuit: Circuit, n_frames: int = 15,
     if n_frames < 1:
         raise AnalysisError("n_frames must be >= 1")
     fault_point("sim.observability", circuit=circuit.name, seed=seed)
-    params = {"n_frames": int(n_frames), "n_patterns": int(n_patterns),
-              "warmup": warmup if warmup is None else int(warmup),
-              "seed": int(seed), "keep_masks": bool(keep_masks)}
-    return cached("obs", circuit.fingerprint(), params,
-                  compute=lambda: _observability_impl(
-                      circuit, n_frames, n_patterns, warmup, seed,
-                      keep_masks),
-                  encode=_encode_obs_result, decode=_decode_obs_result)
+    with telemetry.span("sim.observability", circuit=circuit.name,
+                        frames=int(n_frames), patterns=int(n_patterns),
+                        seed=int(seed)):
+        params = {"n_frames": int(n_frames), "n_patterns": int(n_patterns),
+                  "warmup": warmup if warmup is None else int(warmup),
+                  "seed": int(seed), "keep_masks": bool(keep_masks)}
+        return cached("obs", circuit.fingerprint(), params,
+                      compute=lambda: _observability_impl(
+                          circuit, n_frames, n_patterns, warmup, seed,
+                          keep_masks),
+                      encode=_encode_obs_result, decode=_decode_obs_result)
 
 
 def _observability_impl(circuit: Circuit, n_frames: int, n_patterns: int,

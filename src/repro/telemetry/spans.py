@@ -1,0 +1,369 @@
+"""Structured span tracing to append-only JSONL files.
+
+A *span* is one named, timed region of work with free-form attributes
+and a parent (the span open when it began) -- circuits, pipeline stages,
+solver calls, individual MinObsWin iterations.  An *event* is a point in
+time attached to the currently open span -- a cache load, a fault-plane
+firing.  Spans are written when they *end*, so children precede their
+parents in the file; readers reconstruct the tree from ``id``/``parent``.
+
+Trace-file schema (``format: repro-trace``, version 1), one JSON object
+per line::
+
+    {"type": "trace", "format": "repro-trace", "version": 1,
+     "clock": "perf_counter", "prefix": "", "wall_time": 1722849600.0,
+     "meta": {...}}                                    // header record
+    {"type": "span", "id": "3", "parent": "1", "name": "stage:initialize",
+     "t0": 0.0123, "dur": 0.0041, "attrs": {"circuit": "s13207"}}
+    {"type": "event", "id": "4", "parent": "3", "name": "cache.load",
+     "t": 0.0130, "attrs": {"kind": "init", "hit": false}}
+
+``t0``/``t``/``dur`` are monotonic seconds relative to the tracer's
+creation (``time.perf_counter``); the header's ``wall_time`` anchors
+them to the wall clock for humans.  Every record is written with a
+single buffered ``write`` followed by a flush (one writer per file by
+construction -- parallel workers get their own shard file), and the file
+is ``fsync``\\ ed on :meth:`Tracer.close`, so a crash loses at most the
+spans still open.
+
+Installation mirrors :mod:`repro.faultplane.hooks`: a module-global
+tracer that every instrumented call checks with a single ``None`` test.
+With no tracer installed, :func:`span` returns a shared no-op context
+manager and :func:`event` returns immediately -- the instrumented
+pipeline stays bit-identical and within the <2 % overhead budget of
+``benchmarks/bench_runtime_overhead.py``.
+
+Parallel runs: each suite worker traces to
+``<trace>.shard-NN.jsonl`` (:func:`shard_trace_path`) with span-id
+prefix ``sNN-`` so ids stay globally unique, and the parent folds the
+shards into the main trace with :func:`merge_shard_traces` in canonical
+shard order -- records are copied verbatim, so parent/child ids are
+preserved exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import TelemetryError
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class _Span:
+    """One open span (bookkeeping only; serialized on end)."""
+
+    __slots__ = ("id", "parent", "name", "t0", "attrs")
+
+    def __init__(self, span_id: str, parent: str | None, name: str,
+                 t0: float, attrs: dict[str, Any]):
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.t0 = t0
+        self.attrs = attrs
+
+
+class Tracer:
+    """Writes one JSONL trace file.
+
+    Parameters
+    ----------
+    path:
+        Trace file, opened in append mode (a header record is written on
+        every open; readers treat the file as a record stream and accept
+        multiple headers).
+    prefix:
+        Prepended to every span/event id -- parallel shard tracers use
+        ``"sNN-"`` so merged ids never collide.
+    meta:
+        Free-form JSON-serializable run description for the header.
+
+    The span stack is owned by the thread that runs the pipeline; the
+    write path is locked so helper threads may still :meth:`emit_span`
+    or :meth:`event` safely.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], prefix: str = "",
+                 meta: dict[str, Any] | None = None):
+        self.path = os.fspath(path)
+        self.prefix = prefix
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._stack: list[_Span] = []
+        self._closed = False
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._emit({
+            "type": "trace", "format": TRACE_FORMAT,
+            "version": TRACE_VERSION, "clock": "perf_counter",
+            "prefix": prefix, "wall_time": time.time(),
+            "meta": meta or {},
+        })
+
+    # ------------------------------------------------------------------
+    # Clock and ids
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Monotonic seconds since this tracer was created."""
+        return time.perf_counter() - self._epoch
+
+    def _new_id(self) -> str:
+        with self._lock:
+            span_id = f"{self.prefix}{self._next_id}"
+            self._next_id += 1
+        return span_id
+
+    def current_id(self) -> str | None:
+        """Id of the innermost open span, or ``None``."""
+        return self._stack[-1].id if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def begin(self, name: str, attrs: dict[str, Any] | None = None,
+              ) -> _Span:
+        """Open a span as a child of the innermost open span."""
+        span = _Span(self._new_id(), self.current_id(), name, self.now(),
+                     dict(attrs) if attrs else {})
+        self._stack.append(span)
+        return span
+
+    def end(self, span: _Span) -> None:
+        """Close ``span`` (and anything left open inside it) and emit."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._emit({"type": "span", "id": span.id, "parent": span.parent,
+                    "name": span.name, "t0": span.t0,
+                    "dur": self.now() - span.t0, "attrs": span.attrs})
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[_Span]:
+        """Context manager around :meth:`begin`/:meth:`end`.
+
+        An exception propagating out of the body is recorded as an
+        ``error`` attribute (the exception type name) before re-raising.
+        """
+        span = self.begin(name, attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self.end(span)
+
+    def emit_span(self, name: str, t0: float,
+                  attrs: dict[str, Any] | None = None) -> str:
+        """Emit an already-finished span (hot-loop fast path).
+
+        The caller supplies the start time (from :meth:`now`); the span
+        is parented to the innermost *open* span and never enters the
+        stack, so thousands of solver-iteration spans cost one dict and
+        one write each.  Returns the span id.
+        """
+        span_id = self._new_id()
+        self._emit({"type": "span", "id": span_id,
+                    "parent": self.current_id(), "name": name, "t0": t0,
+                    "dur": self.now() - t0, "attrs": attrs or {}})
+        return span_id
+
+    def add_attrs(self, **attrs: Any) -> None:
+        """Merge attributes into the innermost open span (no-op bare)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, name: str, **attrs: Any) -> str:
+        """Emit a point event attached to the innermost open span.
+
+        Returns the event id (cited by, e.g., chaos scorecards).
+        """
+        event_id = self._new_id()
+        self._emit({"type": "event", "id": event_id,
+                    "parent": self.current_id(), "name": name,
+                    "t": self.now(), "attrs": attrs})
+        return event_id
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush, fsync and close the trace file (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass  # durability is best-effort on exotic filesystems
+            self._handle.close()
+
+
+# ----------------------------------------------------------------------
+# The process-global tracer (mirrors repro.faultplane.hooks)
+# ----------------------------------------------------------------------
+
+_TRACER: Tracer | None = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the tracing-off fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or ``None`` (tracing off)."""
+    return _TRACER
+
+
+def install(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def uninstall() -> Tracer | None:
+    """Remove any installed tracer; returns it."""
+    return install(None)
+
+
+@contextmanager
+def installed(tracer: Tracer | None) -> Iterator[Tracer | None]:
+    """Context manager: install ``tracer``, restore the previous one."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed tracer (shared no-op when off)."""
+    if _TRACER is None:
+        return _NOOP
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> str | None:
+    """Emit an event on the installed tracer; returns its id (or None)."""
+    if _TRACER is None:
+        return None
+    return _TRACER.event(name, **attrs)
+
+
+def current_span_id() -> str | None:
+    """Id of the innermost open span of the installed tracer, if any."""
+    return _TRACER.current_id() if _TRACER is not None else None
+
+
+def add_attrs(**attrs: Any) -> None:
+    """Merge attributes into the current span of the installed tracer."""
+    if _TRACER is not None:
+        _TRACER.add_attrs(**attrs)
+
+
+# ----------------------------------------------------------------------
+# Shard traces (parallel suite workers)
+# ----------------------------------------------------------------------
+
+
+def shard_trace_path(trace_path: str, shard_index: int) -> str:
+    """Trace file of one worker shard (sibling of the main trace)."""
+    return f"{trace_path}.shard-{shard_index:02d}.jsonl"
+
+
+def shard_trace_paths(trace_path: str) -> list[str]:
+    """Existing shard trace files of a main trace path, sorted."""
+    import glob
+
+    return sorted(glob.glob(glob.escape(trace_path) + ".shard-*.jsonl"))
+
+
+def merge_shard_traces(trace_path: str,
+                       shard_files: list[str] | None = None) -> list[str]:
+    """Fold worker shard traces into the main trace file.
+
+    Shard records are appended verbatim in shard order (canonical:
+    sorted file names), so span/event ids -- already unique via the
+    per-shard ``sNN-`` prefix -- and parent/child relations survive the
+    merge exactly.  Shard *header* records are dropped (the main file
+    has its own); unparseable lines are skipped (a shard torn by a
+    worker crash loses only its last, partial line).  Merged shard
+    files are deleted.  Returns the merged file paths.
+    """
+    if shard_files is None:
+        shard_files = shard_trace_paths(trace_path)
+    if not shard_files:
+        return []
+    exists = os.path.exists(trace_path) and os.path.getsize(trace_path) > 0
+    with open(trace_path, "a", encoding="utf-8") as out:
+        if not exists:
+            header = {"type": "trace", "format": TRACE_FORMAT,
+                      "version": TRACE_VERSION, "clock": "perf_counter",
+                      "prefix": "", "wall_time": time.time(),
+                      "meta": {"merged": True}}
+            out.write(json.dumps(header, sort_keys=True,
+                                 separators=(",", ":")) + "\n")
+        for path in sorted(shard_files):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn tail of a crashed worker
+                        if not isinstance(record, dict) or \
+                                record.get("type") == "trace":
+                            continue
+                        out.write(line + "\n")
+            except OSError as exc:
+                raise TelemetryError(
+                    f"cannot merge shard trace {path!r}: {exc}") from exc
+        out.flush()
+        os.fsync(out.fileno())
+    for path in shard_files:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return list(shard_files)

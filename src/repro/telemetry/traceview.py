@@ -1,0 +1,247 @@
+"""Reading and rendering trace files: the ``repro-ser trace`` backend.
+
+Three views over one trace JSONL file (schema in
+:mod:`repro.telemetry.spans`):
+
+* :func:`summarize_trace` -- per-circuit stage breakdown plus aggregate
+  stage totals and solver-iteration counts; the view the CI smoke job
+  greps for stage names.
+* :func:`top_spans` -- span names ranked by *self* time (duration minus
+  child durations), the critical-path table.
+* :func:`flame` -- an indented text flame of the span tree, with long
+  runs of identical siblings (solver iterations) collapsed.
+
+Spans are written when they end, so the file order is children-first;
+:func:`build_tree` reconstructs the forest from ``id``/``parent``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import TelemetryError
+
+
+@dataclass
+class SpanNode:
+    """One span with its resolved children (sorted by start time)."""
+
+    id: str
+    parent: str | None
+    name: str
+    t0: float
+    dur: float
+    attrs: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+@dataclass
+class Trace:
+    """A loaded trace file: headers, spans and events in file order."""
+
+    headers: list[dict[str, Any]]
+    spans: list[dict[str, Any]]
+    events: list[dict[str, Any]]
+
+    @property
+    def roots(self) -> list[SpanNode]:
+        return build_tree(self.spans)
+
+
+def load_trace(path: str | os.PathLike[str]) -> Trace:
+    """Parse a trace JSONL file.
+
+    Accepts multiple header records (append-mode reopens and shard
+    merges produce them) and skips a torn final line (a crashed writer);
+    any other malformed content raises :class:`TelemetryError`.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read trace {path!r}: {exc}") from exc
+    headers: list[dict[str, Any]] = []
+    spans: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                continue  # torn tail of a crashed writer
+            raise TelemetryError(
+                f"{path}:{index + 1}: malformed trace record") from exc
+        kind = record.get("type") if isinstance(record, dict) else None
+        if kind == "trace":
+            headers.append(record)
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "event":
+            events.append(record)
+        else:
+            raise TelemetryError(
+                f"{path}:{index + 1}: unknown record type {kind!r}")
+    if not headers:
+        raise TelemetryError(f"{path}: not a repro-trace file (no header)")
+    return Trace(headers=headers, spans=spans, events=events)
+
+
+def build_tree(spans: list[dict[str, Any]]) -> list[SpanNode]:
+    """Reconstruct the span forest; roots sorted by start time.
+
+    A span whose parent never closed (crash) becomes a root.
+    """
+    nodes = {record["id"]: SpanNode(
+        id=record["id"], parent=record.get("parent"),
+        name=record["name"], t0=record["t0"], dur=record["dur"],
+        attrs=record.get("attrs", {})) for record in spans}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.t0)
+    roots.sort(key=lambda node: node.t0)
+    return roots
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def _walk(nodes: list[SpanNode]):
+    for node in nodes:
+        yield node
+        yield from _walk(node.children)
+
+
+def summarize_trace(trace: Trace) -> str:
+    """Per-circuit stage table plus aggregate stage/solver totals."""
+    roots = trace.roots
+    lines: list[str] = []
+    circuits = [node for node in _walk(roots) if node.name == "circuit"]
+    stage_totals: dict[str, tuple[int, float]] = {}
+    iteration_totals: dict[str, int] = {}
+
+    def tally(stage: SpanNode) -> None:
+        count, total = stage_totals.get(stage.name, (0, 0.0))
+        stage_totals[stage.name] = (count + 1, total + stage.dur)
+
+    for circuit in circuits:
+        label = circuit.attrs.get("circuit", circuit.id)
+        lines.append(f"circuit {label}  total {_fmt_seconds(circuit.dur)}")
+        for stage in circuit.children:
+            if not stage.name.startswith("stage:"):
+                continue
+            tally(stage)
+            iterations = sum(1 for node in _walk(stage.children)
+                             if node.name == "solver.iteration")
+            extra = ""
+            if iterations:
+                key = stage.name
+                iteration_totals[key] = iteration_totals.get(key, 0) \
+                    + iterations
+                extra = f"  iterations {iterations}"
+            lines.append(f"  {stage.name[6:]:<20}"
+                         f"{_fmt_seconds(stage.dur)}{extra}")
+        lines.append("")
+    if not circuits:
+        # Stage spans may exist without circuit parents (partial trace).
+        for node in _walk(roots):
+            if node.name.startswith("stage:"):
+                tally(node)
+    lines.append("stage totals")
+    if stage_totals:
+        for name in sorted(stage_totals):
+            count, total = stage_totals[name]
+            extra = ""
+            if name in iteration_totals:
+                extra = f"  iterations {iteration_totals[name]}"
+            lines.append(f"  {name[6:]:<20}{_fmt_seconds(total)}"
+                         f"  x{count}{extra}")
+    else:
+        lines.append("  (no stage spans)")
+    n_events = len(trace.events)
+    lines.append(f"spans {len(trace.spans)}  events {n_events}")
+    return "\n".join(lines)
+
+
+def top_spans(trace: Trace, limit: int = 15) -> str:
+    """Span names ranked by aggregate self time (critical-path table)."""
+    totals: dict[str, tuple[int, float, float]] = {}
+    for node in _walk(trace.roots):
+        count, self_total, dur_total = totals.get(node.name, (0, 0.0, 0.0))
+        totals[node.name] = (count + 1, self_total + node.self_time,
+                             dur_total + node.dur)
+    ranked = sorted(totals.items(), key=lambda item: -item[1][1])[:limit]
+    width = max((len(name) for name, _ in ranked), default=4)
+    lines = [f"{'span':<{width}}  {'count':>7}  {'self':>10}  "
+             f"{'total':>10}"]
+    for name, (count, self_total, dur_total) in ranked:
+        lines.append(f"{name:<{width}}  {count:>7}  "
+                     f"{_fmt_seconds(self_total):>10}  "
+                     f"{_fmt_seconds(dur_total):>10}")
+    return "\n".join(lines)
+
+
+#: Identical-name sibling runs longer than this collapse to one line.
+FLAME_COLLAPSE_THRESHOLD = 3
+
+
+def flame(trace: Trace, max_depth: int | None = None) -> str:
+    """Indented text flame of the span tree.
+
+    Runs of more than :data:`FLAME_COLLAPSE_THRESHOLD` identical-name
+    siblings (solver iterations, cache probes) collapse into a single
+    ``name xN`` line carrying their summed duration.
+    """
+    lines: list[str] = []
+
+    def render(nodes: list[SpanNode], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        index = 0
+        while index < len(nodes):
+            node = nodes[index]
+            run_end = index
+            while run_end + 1 < len(nodes) and \
+                    nodes[run_end + 1].name == node.name:
+                run_end += 1
+            run = nodes[index:run_end + 1]
+            indent = "  " * depth
+            if len(run) > FLAME_COLLAPSE_THRESHOLD:
+                total = sum(sibling.dur for sibling in run)
+                lines.append(f"{indent}{node.name} x{len(run)}  "
+                             f"{_fmt_seconds(total)}")
+            else:
+                for sibling in run:
+                    detail = ""
+                    circuit = sibling.attrs.get("circuit")
+                    if circuit:
+                        detail = f"  [{circuit}]"
+                    error = sibling.attrs.get("error")
+                    if error:
+                        detail += f"  !{error}"
+                    lines.append(f"{indent}{sibling.name}  "
+                                 f"{_fmt_seconds(sibling.dur)}{detail}")
+                    render(sibling.children, depth + 1)
+            index = run_end + 1
+
+    render(trace.roots, 0)
+    return "\n".join(lines) if lines else "(empty trace)"

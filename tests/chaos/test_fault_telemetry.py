@@ -1,0 +1,97 @@
+"""Fault-plane firings land in the span trace (ISSUE 5 satellite).
+
+Every injection that fires emits a ``fault.fired`` trace event and
+stamps the id of the span it fired inside into the
+:class:`InjectionEvent` context, so a chaos scorecard entry can be
+cross-referenced against the exact pipeline span it perturbed.
+"""
+
+import dataclasses
+import json
+
+from repro.faultplane import hooks
+from repro.faultplane.chaos import build_plan, run_chaos
+from repro.faultplane.plan import FaultInjector, FaultPlan, FaultSpec
+from repro.runtime.suite import SuiteConfig, run_suite
+from repro.telemetry import REGISTRY
+
+from .conftest import tiny_factory
+
+
+def read_records(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def always_fire_plan(site):
+    return FaultPlan(seed=0, faults=[
+        FaultSpec(site=site, kind="transient", trigger=1, arms=-1,
+                  probability=1.0)])
+
+
+class TestFaultFiringsInTrace:
+    def test_fired_sites_emit_trace_events_with_span_ids(self, cfg,
+                                                         tmp_path):
+        trace = tmp_path / "t.jsonl"
+        config = dataclasses.replace(cfg, trace_path=str(trace))
+        injector = FaultInjector(always_fire_plan("ser.analyze"))
+        with hooks.installed(injector):
+            run_suite(config, circuit_factory=tiny_factory)
+        assert injector.events  # the plan actually fired
+        records = read_records(trace)
+        fired = [r for r in records if r["type"] == "event"
+                 and r["name"] == "fault.fired"]
+        assert len(fired) == len(injector.events)
+        span_ids = {r["id"] for r in records if r["type"] == "span"}
+        for event, record in zip(injector.events, fired):
+            assert record["attrs"]["site"] == event.site == "ser.analyze"
+            assert record["attrs"]["kind"] == event.kind
+            assert record["attrs"]["call"] == event.call
+            # The injector context cites a span that exists in the trace.
+            assert event.context["span_id"] in span_ids
+            assert record["parent"] == event.context["span_id"]
+
+    def test_span_id_survives_into_scorecard_event_dict(self, cfg,
+                                                        tmp_path):
+        trace = tmp_path / "t.jsonl"
+        config = dataclasses.replace(cfg, trace_path=str(trace))
+        injector = FaultInjector(always_fire_plan("ser.analyze"))
+        with hooks.installed(injector):
+            run_suite(config, circuit_factory=tiny_factory)
+        stats = injector.stats()
+        assert stats["injected"] > 0
+        for event in stats["events"]:
+            # to_dict keeps scalar context values: span_id is citable.
+            assert isinstance(event["context"]["span_id"], str)
+
+    def test_run_chaos_scorecard_sites_appear_in_trace(self, cfg,
+                                                       tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        config = dataclasses.replace(cfg, circuits=("alpha",),
+                                     trace_path=str(trace))
+        plan = build_plan(seed=3, sites=["ser.analyze", "elw.*"],
+                          probability=1.0)
+        suite, card = run_chaos(config, plan,
+                                circuit_factory=tiny_factory)
+        assert card.injected > 0
+        fired_sites = {key.split("/")[0]
+                       for key in card.injected_by_site}
+        traced_sites = {r["attrs"]["site"]
+                        for r in read_records(trace)
+                        if r["type"] == "event"
+                        and r["name"] == "fault.fired"}
+        assert fired_sites == traced_sites
+        # The clean differential reference did not re-trace: exactly one
+        # run's worth of circuit spans is in the file.
+        circuit_spans = [r for r in read_records(trace)
+                         if r["type"] == "span" and r["name"] == "circuit"]
+        assert len(circuit_spans) == 1
+
+    def test_firings_tick_the_metrics_counter(self, cfg, tmp_path):
+        before = REGISTRY.snapshot()
+        injector = FaultInjector(always_fire_plan("ser.analyze"))
+        config = dataclasses.replace(cfg, circuits=("alpha",))
+        with hooks.installed(injector):
+            run_suite(config, circuit_factory=tiny_factory)
+        delta = REGISTRY.delta(before, REGISTRY.snapshot())
+        assert delta.get("faultplane.fired", 0) == len(injector.events)

@@ -86,7 +86,8 @@ class TestPerfCounters:
     def test_report_carries_perf_subtree(self, tmp_path):
         result, _ = self.run_one(tmp_path, cached_cfg(tmp_path))
         perf = result.runs[0].report["perf"]
-        assert set(perf) == {"stages", "elw_incremental", "cache"}
+        assert set(perf) == {"stages", "elw_incremental", "cache",
+                             "metrics"}
         assert "observability" in perf["stages"]
         assert all(t >= 0.0 for t in perf["stages"].values())
         inc = perf["elw_incremental"]

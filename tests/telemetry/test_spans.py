@@ -1,0 +1,216 @@
+"""Unit tests for the span tracer and the module-global install plumbing."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (Tracer, merge_shard_traces, shard_trace_path,
+                             shard_trace_paths)
+from repro.telemetry import spans as telemetry
+
+
+def read_records(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def spans_of(records):
+    return [r for r in records if r["type"] == "span"]
+
+
+class TestTracer:
+    def test_header_first_then_spans_children_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, meta={"kind": "test"})
+        with tracer.span("outer", circuit="s13207"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        records = read_records(path)
+        assert records[0]["type"] == "trace"
+        assert records[0]["format"] == "repro-trace"
+        assert records[0]["version"] == 1
+        assert records[0]["meta"] == {"kind": "test"}
+        inner, outer = spans_of(records)
+        # Spans are emitted on end: the child precedes its parent.
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"circuit": "s13207"}
+        assert outer["dur"] >= inner["dur"] >= 0.0
+
+    def test_exception_recorded_as_error_attr_and_reraised(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        tracer.close()
+        (span,) = spans_of(read_records(path))
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_emit_span_parents_to_open_span_without_stack_push(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("solve"):
+            t0 = tracer.now()
+            tracer.emit_span("solver.iteration", t0, {"i": 1})
+            # The emitted span never became "current".
+            assert tracer.current_id() is not None
+            with tracer.span("verify"):
+                pass
+        tracer.close()
+        records = spans_of(read_records(path))
+        by_name = {r["name"]: r for r in records}
+        solve = by_name["solve"]
+        assert by_name["solver.iteration"]["parent"] == solve["id"]
+        assert by_name["solver.iteration"]["attrs"] == {"i": 1}
+        assert by_name["verify"]["parent"] == solve["id"]
+
+    def test_add_attrs_merges_into_innermost_open_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("solve"):
+            tracer.add_attrs(iterations=7, objective=42)
+        tracer.add_attrs(ignored=True)  # bare: silently dropped
+        tracer.close()
+        (span,) = spans_of(read_records(path))
+        assert span["attrs"] == {"iterations": 7, "objective": 42}
+
+    def test_event_attaches_to_current_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("stage:initialize"):
+            event_id = tracer.event("cache.load", hit=True)
+        tracer.close()
+        records = read_records(path)
+        (event,) = [r for r in records if r["type"] == "event"]
+        (span,) = spans_of(records)
+        assert event["id"] == event_id
+        assert event["parent"] == span["id"]
+        assert event["attrs"] == {"hit": True}
+
+    def test_prefix_applies_to_every_id(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, prefix="s03-")
+        with tracer.span("a"):
+            tracer.event("e")
+        tracer.close()
+        records = read_records(path)
+        assert records[0]["prefix"] == "s03-"
+        for record in records[1:]:
+            assert record["id"].startswith("s03-")
+
+    def test_close_is_idempotent_and_drops_late_writes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.close()
+        tracer.close()
+        tracer.event("late")  # no crash, no write
+        assert len(read_records(path)) == 1  # header only
+
+    def test_append_mode_keeps_prior_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        first = Tracer(path)
+        with first.span("one"):
+            pass
+        first.close()
+        second = Tracer(path)
+        with second.span("two"):
+            pass
+        second.close()
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["trace", "span", "trace",
+                                                "span"]
+
+
+class TestGlobalInstall:
+    def test_noop_when_uninstalled(self):
+        telemetry.uninstall()
+        assert telemetry.active() is None
+        with telemetry.span("anything", x=1):
+            assert telemetry.current_span_id() is None
+        telemetry.add_attrs(x=1)
+        assert telemetry.event("nothing") is None
+
+    def test_install_restore_roundtrip(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        try:
+            previous = telemetry.install(tracer)
+            assert telemetry.active() is tracer
+            with telemetry.span("root"):
+                assert telemetry.current_span_id() is not None
+            assert telemetry.install(previous) is tracer
+        finally:
+            telemetry.uninstall()
+            tracer.close()
+
+    def test_installed_context_manager_restores_on_error(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        try:
+            with pytest.raises(RuntimeError):
+                with telemetry.installed(tracer):
+                    assert telemetry.active() is tracer
+                    raise RuntimeError
+            assert telemetry.active() is None
+        finally:
+            tracer.close()
+
+
+class TestShardMerge:
+    def make_shard(self, base, index, names):
+        tracer = Tracer(shard_trace_path(str(base), index),
+                        prefix=f"s{index:02d}-")
+        for name in names:
+            with tracer.span("circuit", circuit=name):
+                with tracer.span("stage:prepare"):
+                    pass
+        tracer.close()
+
+    def test_merge_preserves_ids_and_parentage(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        main = Tracer(base, meta={"kind": "suite"})
+        main.close()
+        self.make_shard(base, 0, ["ant"])
+        self.make_shard(base, 1, ["bee", "cat"])
+        assert len(shard_trace_paths(str(base))) == 2
+        merged = merge_shard_traces(str(base))
+        assert len(merged) == 2
+        assert shard_trace_paths(str(base)) == []  # shards deleted
+        records = read_records(base)
+        spans = spans_of(records)
+        ids = {s["id"] for s in spans}
+        assert all(s["parent"] in ids for s in spans if s["parent"])
+        prefixes = {s["id"].split("-")[0] for s in spans}
+        assert prefixes == {"s00", "s01"}
+        # Shard headers were dropped: only the main header remains.
+        assert sum(1 for r in records if r["type"] == "trace") == 1
+
+    def test_merge_writes_header_when_main_trace_missing(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        self.make_shard(base, 0, ["ant"])
+        merge_shard_traces(str(base))
+        records = read_records(base)
+        assert records[0]["type"] == "trace"
+        assert records[0]["meta"] == {"merged": True}
+
+    def test_merge_skips_torn_tail(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        self.make_shard(base, 0, ["ant"])
+        shard = shard_trace_path(str(base), 0)
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "id": "s00-99", "na')
+        merge_shard_traces(str(base))
+        records = read_records(base)  # json.loads would fail on a torn line
+        assert all(r["id"] != "s00-99" for r in spans_of(records))
+
+    def test_merge_without_shards_is_a_noop(self, tmp_path):
+        assert merge_shard_traces(str(tmp_path / "trace.jsonl")) == []
+
+    def test_unreadable_shard_raises(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        missing = shard_trace_path(str(base), 0)
+        with pytest.raises(TelemetryError):
+            merge_shard_traces(str(base), [missing])

@@ -1,0 +1,178 @@
+"""Unit tests for trace loading and the summarize/top/flame renderers."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Tracer
+from repro.telemetry.traceview import (build_tree, flame, load_trace,
+                                       summarize_trace, top_spans)
+
+
+def write_trace(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+HEADER = {"type": "trace", "format": "repro-trace", "version": 1,
+          "clock": "perf_counter", "prefix": "", "wall_time": 0.0,
+          "meta": {}}
+
+
+def span(span_id, parent, name, t0, dur, **attrs):
+    return {"type": "span", "id": span_id, "parent": parent, "name": name,
+            "t0": t0, "dur": dur, "attrs": attrs}
+
+
+def pipeline_records():
+    """A miniature one-circuit trace (children precede parents)."""
+    return [
+        HEADER,
+        span("2", "1", "stage:prepare", 0.00, 0.01),
+        span("4", "3", "solver.iteration", 0.02, 0.001, i=1),
+        span("5", "3", "solver.iteration", 0.03, 0.001, i=2),
+        span("3", "1", "stage:solve:minobs", 0.01, 0.05),
+        {"type": "event", "id": "6", "parent": "1", "name": "cache.load",
+         "t": 0.06, "attrs": {"hit": True}},
+        span("1", None, "circuit", 0.0, 0.1, circuit="s13207"),
+    ]
+
+
+class TestLoadTrace:
+    def test_loads_headers_spans_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        trace = load_trace(path)
+        assert len(trace.headers) == 1
+        assert len(trace.spans) == 5
+        assert len(trace.events) == 1
+
+    def test_accepts_multiple_headers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [HEADER, HEADER])
+        assert len(load_trace(path).headers) == 2
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "id"')
+        assert len(load_trace(path).spans) == 5
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('not json\n' + json.dumps(HEADER) + "\n")
+        with pytest.raises(TelemetryError):
+            load_trace(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [HEADER, {"type": "mystery"}])
+        with pytest.raises(TelemetryError):
+            load_trace(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [span("1", None, "circuit", 0.0, 0.1)])
+        with pytest.raises(TelemetryError):
+            load_trace(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_trace(tmp_path / "absent.jsonl")
+
+
+class TestBuildTree:
+    def test_children_first_file_order_reconstructs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        (root,) = load_trace(path).roots
+        assert root.name == "circuit"
+        assert [c.name for c in root.children] == ["stage:prepare",
+                                                   "stage:solve:minobs"]
+        solve = root.children[1]
+        assert [c.attrs["i"] for c in solve.children] == [1, 2]
+
+    def test_orphan_becomes_root(self):
+        roots = build_tree([span("7", "gone", "stage:prepare", 0.0, 0.1)])
+        assert [r.name for r in roots] == ["stage:prepare"]
+
+    def test_self_time_subtracts_children(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        (root,) = load_trace(path).roots
+        assert root.self_time == pytest.approx(0.1 - 0.01 - 0.05)
+
+
+class TestRenderers:
+    def trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        return load_trace(path)
+
+    def test_summarize_names_circuit_stages_and_iterations(self, tmp_path):
+        text = summarize_trace(self.trace(tmp_path))
+        assert "circuit s13207" in text
+        assert "prepare" in text
+        assert "solve:minobs" in text
+        assert "iterations 2" in text
+        assert "stage totals" in text
+        assert "spans 5  events 1" in text
+
+    def test_summarize_without_circuits_still_tallies_stages(self,
+                                                             tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [HEADER,
+                           span("2", None, "stage:prepare", 0.0, 0.01)])
+        text = summarize_trace(load_trace(path))
+        assert "prepare" in text
+
+    def test_top_ranks_by_self_time(self, tmp_path):
+        text = top_spans(self.trace(tmp_path), limit=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert len(lines) == 3  # header + limit
+        # circuit has 0.04 self time < solve's 0.048: solve ranks first.
+        assert lines[1].split()[0] == "stage:solve:minobs"
+
+    def test_flame_shows_tree_and_attrs(self, tmp_path):
+        text = flame(self.trace(tmp_path))
+        assert "circuit" in text and "[s13207]" in text
+        assert "  stage:prepare" in text
+
+    def test_flame_collapses_long_sibling_runs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [HEADER]
+        for i in range(6):
+            records.append(span(str(i + 2), "1", "solver.iteration",
+                                0.01 * i, 0.001))
+        records.append(span("1", None, "solve", 0.0, 0.1))
+        write_trace(path, records)
+        text = flame(load_trace(path))
+        assert "solver.iteration x6" in text
+
+    def test_flame_respects_max_depth(self, tmp_path):
+        text = flame(self.trace(tmp_path), max_depth=0)
+        assert text.strip() == text  # only the root line, no indent
+        assert "stage:" not in text
+
+    def test_flame_marks_errors(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [HEADER,
+                           span("1", None, "verify", 0.0, 0.1,
+                                error="AnalysisError")])
+        assert "!AnalysisError" in flame(load_trace(path))
+
+    def test_renderers_accept_real_tracer_output(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("circuit", circuit="ant"):
+            with tracer.span("stage:prepare"):
+                pass
+        tracer.close()
+        trace = load_trace(path)
+        assert "circuit ant" in summarize_trace(trace)
+        assert "stage:prepare" in top_spans(trace)
+        assert "stage:prepare" in flame(trace)
