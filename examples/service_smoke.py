@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the retiming service (CI runs this).
+
+The script walks the whole resident-service story against a real
+subprocess on an ephemeral port:
+
+1. serve, submit two Table I circuits over HTTP, poll results;
+2. check digest parity against clean in-process runs of the same specs
+   (the service's crash-safe plumbing must not change the answer);
+3. resubmit the same circuits and confirm the warm shared analysis
+   cache served hits (via ``/metrics``);
+4. SIGTERM mid-job: graceful drain, exit 0, zero leased/running
+   records on disk;
+5. restart: the queue directory is picked up and every job ends done.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service.app import read_endpoint
+from repro.service.jobs import load_job
+from repro.service.workers import ExecutionDefaults, execute_job
+
+SCALE = 0.004
+SPECS = [{"circuit": name, "scale": SCALE, "seed": 0, "frames": 2,
+          "patterns": 64} for name in ("s13207", "s15850.1")]
+
+
+def serve_argv(root, drain_after_idle=False):
+    argv = [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+            "--port", "0", "--pool", "2", "--scale", str(SCALE),
+            "--lease-seconds", "30"]
+    if drain_after_idle:
+        argv += ["--drain-after-idle", "--idle-grace", "1.0"]
+    return argv
+
+
+def request(endpoint, method, path, body=None):
+    conn = http.client.HTTPConnection(endpoint["host"], endpoint["port"],
+                                      timeout=30)
+    try:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        conn.request(method, path, body=data)
+        response = conn.getresponse()
+        raw = response.read().decode("utf-8", "replace")
+        if response.getheader("Content-Type",
+                              "").startswith("application/json"):
+            raw = json.loads(raw)
+        return response.status, raw
+    finally:
+        conn.close()
+
+
+def submit(endpoint, spec):
+    status, payload = request(endpoint, "POST", "/jobs", body=spec)
+    assert status == 202, (status, payload)
+    return payload["job"]["id"]
+
+
+def wait_done(endpoint, job_id, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request(endpoint, "GET",
+                                  f"/jobs/{job_id}/result")
+        if status == 200:
+            assert payload["state"] == "done", payload
+            return payload["result"]
+        assert status == 409, (status, payload)
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+def disk_states(root):
+    states = {}
+    jobs_dir = os.path.join(root, "jobs")
+    for entry in sorted(os.listdir(jobs_dir)):
+        if entry.startswith(".") or not entry.endswith(".json"):
+            continue
+        record = load_job(os.path.join(jobs_dir, entry))
+        states[record.id] = record.state
+    return states
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    print(f"queue directory: {root}")
+
+    print("reference digests (clean in-process runs) ...")
+    references = {}
+    for spec in SPECS:
+        result = execute_job(spec, ExecutionDefaults(scale=SCALE))
+        references[result["name"]] = result["digest"]
+
+    proc = subprocess.Popen(serve_argv(root))
+    try:
+        endpoint = read_endpoint(root, timeout=15.0)
+        print(f"service up on {endpoint['host']}:{endpoint['port']}")
+
+        cold_start = time.monotonic()
+        jobs = [submit(endpoint, spec) for spec in SPECS]
+        for spec, job_id in zip(SPECS, jobs):
+            result = wait_done(endpoint, job_id)
+            assert result["digest"] == references[result["name"]], (
+                f"{result['name']}: service digest {result['digest']} != "
+                f"clean reference {references[result['name']]}")
+            print(f"  {result['name']}: done, digest matches reference")
+        cold = time.monotonic() - cold_start
+
+        print("warm resubmission (shared analysis cache) ...")
+        warm_start = time.monotonic()
+        for spec in SPECS:
+            wait_done(endpoint, submit(endpoint, spec))
+        warm = time.monotonic() - warm_start
+        status, metrics = request(endpoint, "GET", "/metrics")
+        assert status == 200
+        hits = [line for line in metrics.splitlines()
+                if line.startswith("repro_cache_hits")]
+        assert hits and float(hits[0].split()[-1]) > 0, \
+            "warm resubmission produced no cache hits"
+        print(f"  cold {cold:.2f}s, warm {warm:.2f}s, {hits[0]}")
+
+        print("SIGTERM mid-job ...")
+        straggler = submit(endpoint, SPECS[0])
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=120.0)
+        assert code == 0, f"graceful drain exited {code}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    states = disk_states(root)
+    assert "leased" not in states.values() and \
+        "running" not in states.values(), states
+    assert not os.path.exists(os.path.join(root, "service.json"))
+    print(f"  drained cleanly; straggler {straggler} is "
+          f"{states[straggler]!r}")
+
+    print("restart picks the queue back up ...")
+    code = subprocess.run(serve_argv(root, drain_after_idle=True),
+                          timeout=600.0).returncode
+    assert code == 0, f"restarted service exited {code}"
+    states = disk_states(root)
+    assert all(state == "done" for state in states.values()), states
+    print(f"service smoke OK: {len(states)} jobs done, "
+          f"exactly-once, digest-stable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -142,6 +143,13 @@ class AnalysisCache:
         self.memory_entries = int(memory_entries)
         self.stats = CacheStats()
         self._memory: OrderedDict[str, Any] = OrderedDict()
+        # The memory tier is shared by every thread of the process --
+        # the service worker pool runs several jobs concurrently over
+        # one warm cache -- and OrderedDict reorder-while-evict races
+        # corrupt it.  One reentrant lock over the mutating paths keeps
+        # the tier coherent; single-threaded callers pay one uncontended
+        # acquire per (expensive) analysis, which is noise.
+        self._mutex = threading.RLock()
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -171,12 +179,13 @@ class AnalysisCache:
         self-evicts the entry (warning + deletion + miss).
         """
         key = self.key(kind, circuit_digest, params)
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            self._note_load(kind, hit=True, tier="memory")
-            return self._memory[key]
+        with self._mutex:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                self._note_load(kind, hit=True, tier="memory")
+                return self._memory[key]
         path = self.entry_path(kind, key)
         if path is None:
             self.stats.misses += 1
@@ -313,10 +322,11 @@ class AnalysisCache:
     # ------------------------------------------------------------------
 
     def _remember(self, key: str, value: Any) -> None:
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.memory_entries:
-            self._memory.popitem(last=False)
+        with self._mutex:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
 
     def _complain(self, message: str, evict: bool) -> None:
         self.stats.errors += 1
@@ -339,7 +349,8 @@ class AnalysisCache:
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier is untouched)."""
-        self._memory.clear()
+        with self._mutex:
+            self._memory.clear()
 
 
 # ----------------------------------------------------------------------

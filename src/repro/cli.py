@@ -18,6 +18,15 @@ Subcommands
 ``trace``
     Render a span trace written by ``--trace`` (``summarize`` / ``top``
     / ``flame``; see :mod:`repro.telemetry`).
+``serve``
+    Run the resident retiming service: a durable job queue behind a
+    small HTTP API (see :mod:`repro.service` and ``docs/service.md``).
+
+``table1`` and ``chaos`` handle SIGTERM/SIGINT gracefully: the current
+checkpoint state is preserved (parallel runs salvage completed shard
+checkpoints first) and the process exits with
+:data:`INTERRUPT_EXIT_CODE` so callers can distinguish "operator
+stopped it, resume later" from real failures.
 
 ``table1`` and ``chaos`` accept ``--trace``/``--trace-dir`` (structured
 span trace of the run) and ``--metrics-out`` (metrics-registry dump).
@@ -35,6 +44,17 @@ import sys
 
 from ._util import percent
 from .errors import ReproError, WorkerCrashError
+
+#: Exit code of an operator interrupt (SIGTERM/SIGINT) of a suite run:
+#: the checkpointed manifest is intact and ``--resume`` continues the
+#: run.  75 is sysexits' EX_TEMPFAIL ("try again later") -- distinct
+#: from ordinary failures (1) and injected kills
+#: (:data:`repro.faultplane.plan.KILL_EXIT_CODE`).
+INTERRUPT_EXIT_CODE = 75
+
+#: Subcommands whose checkpoint/resume machinery makes an interrupt
+#: safe to convert into a clean "stopped, resume later" exit.
+_INTERRUPTIBLE = ("table1", "chaos")
 
 
 #: Extensions `_load` understands, mapped to their reader names.
@@ -142,6 +162,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         n_frames=args.frames, n_patterns=args.patterns,
         epsilon=args.epsilon, maximal_start=args.maximal_start,
         deadline=args.deadline, max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
         strict=args.strict, guard=not args.no_guard,
         workers=args.workers, cache=_use_cache(args),
         cache_dir=args.cache_dir, trace_path=trace_path)
@@ -248,7 +269,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         circuits=tuple(names), scale=args.scale,
         seed=args.experiment_seed, n_frames=args.frames,
         n_patterns=args.patterns, deadline=args.deadline,
-        max_retries=args.max_retries, workers=args.workers,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff, workers=args.workers,
         cache=use_cache, cache_dir=cache_dir, trace_path=trace_path)
     # Kill mode arms only kill faults by default: a deterministic
     # always-firing fault would make every restart fail identically.
@@ -292,6 +314,27 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"scorecard written to {args.json}", file=sys.stderr)
     _finish_telemetry(args, trace_path)
     return 1 if card.wrong_answers else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.app import RetimingService, ServiceConfig
+
+    config = ServiceConfig(
+        root=args.root, host=args.host, port=args.port, pool=args.pool,
+        queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
+        lease_seconds=args.lease_seconds, max_requeues=args.max_requeues,
+        scale=args.scale, deadline=args.deadline,
+        max_retries=args.max_retries, retry_backoff=args.retry_backoff,
+        cache=not args.no_cache, drain_after_idle=args.drain_after_idle,
+        idle_grace=args.idle_grace, drain_timeout=args.drain_timeout,
+        verbose=args.verbose)
+    service = RetimingService(config)
+    code = service.serve()
+    if args.metrics_out:
+        from .telemetry import REGISTRY
+
+        REGISTRY.write(args.metrics_out)
+    return code
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -413,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=1,
                    help="extra attempts per stage before degrading "
                         "(stochastic stages reseed on retry)")
+    p.add_argument("--retry-backoff", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="base of the seeded exponential backoff (with "
+                        "jitter) slept between retries of a stage "
+                        "(default 0: retry immediately)")
     p.add_argument("--strict", action="store_true",
                    help="abort on the first failure instead of "
                         "degrading (debugging mode)")
@@ -472,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None,
                    metavar="SECONDS", help="per-stage wall-clock budget")
     p.add_argument("--max-retries", type=int, default=1)
+    p.add_argument("--retry-backoff", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="base of the seeded retry backoff (0 = retry "
+                        "immediately)")
     p.add_argument("--json", default=None,
                    help="also write the scorecard as JSON here")
     p.add_argument("--frames", type=int, default=15)
@@ -499,6 +551,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maximum tree depth shown by 'flame'")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the retiming service (durable job queue + HTTP API)")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="queue directory (job records, journal, cache, "
+                        "endpoint file); created if missing")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: ephemeral, published in "
+                        "<root>/service.json)")
+    p.add_argument("--pool", type=int, default=2,
+                   help="worker threads sharing one warm analysis cache")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max jobs in flight before submissions get 429")
+    p.add_argument("--rate", type=float, default=10.0,
+                   help="per-tenant submissions/second refill rate")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="per-tenant token-bucket burst")
+    p.add_argument("--lease-seconds", type=float, default=60.0,
+                   help="job lease duration; an expired lease requeues "
+                        "the job exactly once")
+    p.add_argument("--max-requeues", type=int, default=2,
+                   help="crash/expiry requeues before quarantine")
+    p.add_argument("--scale", type=float, default=None,
+                   help="default circuit scale for named Table I jobs")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS", help="per-stage wall-clock budget")
+    p.add_argument("--max-retries", type=int, default=1)
+    p.add_argument("--retry-backoff", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="base of the seeded retry backoff (0 = retry "
+                        "immediately)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shared analysis cache")
+    p.add_argument("--drain-after-idle", action="store_true",
+                   help="exit 0 once the queue has been idle for "
+                        "--idle-grace seconds (batch mode)")
+    p.add_argument("--idle-grace", type=float, default=2.0)
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds a drain waits for in-flight jobs before "
+                        "releasing their leases")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="dump the metrics registry after the drain")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("generate", help="emit a synthetic benchmark")
     p.add_argument("output")
     p.add_argument("--row", default=None,
@@ -514,14 +612,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_interrupt_handler() -> None:
+    """Map SIGTERM onto :class:`KeyboardInterrupt` for suite commands.
+
+    SIGINT already raises it; with SIGTERM converted too, both
+    interrupts unwind through the same ``finally`` blocks (the serial
+    suite's per-circuit checkpoint is already durable; the parallel
+    executor additionally salvages completed shard checkpoints on the
+    way out) and :func:`main` turns them into a clean
+    :data:`INTERRUPT_EXIT_CODE` exit.  Main-thread only -- under the
+    parallel executor the workers are separate processes with their own
+    default handlers, which is exactly what we want: the parent decides
+    when to stop.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal registration is a main-thread-only API
+
+    def raise_interrupt(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    signal.signal(signal.SIGTERM, raise_interrupt)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "scale", None) is None and \
-            args.command in ("table1", "generate", "chaos"):
+            args.command in ("table1", "generate", "chaos", "serve"):
         from .circuits.suites import DEFAULT_SCALE
 
         args.scale = DEFAULT_SCALE
+    if args.command in _INTERRUPTIBLE:
+        _install_interrupt_handler()
     injector = None
     try:
         import os
@@ -531,6 +656,13 @@ def main(argv: list[str] | None = None) -> int:
 
             injector = install_from_env()
         return args.func(args)
+    except KeyboardInterrupt:
+        if args.command not in _INTERRUPTIBLE:
+            raise
+        print("interrupted: checkpointed progress is preserved; rerun "
+              "with --resume MANIFEST to continue the run",
+              file=sys.stderr)
+        return INTERRUPT_EXIT_CODE
     except WorkerCrashError as exc:
         # A parallel worker died hard (e.g. an injected kill); every
         # completed shard was salvaged into the manifest.  Exit with the

@@ -143,6 +143,51 @@ class WorkerCrashError(ExecutionError):
     """
 
 
+class ServiceError(ReproError):
+    """A retiming-service operation failed (see :mod:`repro.service`)."""
+
+
+class JobStateError(ServiceError):
+    """A job-lifecycle transition is illegal or a job record is damaged.
+
+    Attributes
+    ----------
+    job_id:
+        The job the transition was attempted on, or ``None``.
+    """
+
+    def __init__(self, message: str, job_id: str | None = None):
+        self.job_id = job_id
+        super().__init__(message)
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected at the service front door.
+
+    Carries enough structure for the HTTP layer to produce a located
+    error response without string matching.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status the rejection maps to (400, 413, 429...).
+    field:
+        The offending request field, or ``None`` for whole-request
+        rejections (rate limit, full queue).
+    retry_after:
+        Seconds after which a retry may succeed (rate limit / full
+        queue), or ``None`` for permanent rejections.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 field: str | None = None,
+                 retry_after: float | None = None):
+        self.status = int(status)
+        self.field = field
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (unknown site, bad kind...)."""
 

@@ -31,6 +31,9 @@ real failures at that layer.
 | ``cache.load.enter``      | cache   | cache-entry read begins          |
 | ``cache.store.bytes``     | cache   | serialized entry (torn writes)   |
 | ``cache.store.write``     | cache   | cache-entry write begins         |
+| ``service.accept``        | service | job admission (POST /jobs)       |
+| ``service.lease``         | service | a worker is claiming a job       |
+| ``service.persist``       | service | a job record write begins        |
 +---------------------------+---------+----------------------------------+
 """
 
@@ -106,6 +109,18 @@ SITES: dict[str, Site] = dict((
           "writes)"),
     _site("cache.store.write", "cache", ("oserror",),
           "an analysis-cache entry write is about to begin"),
+    # Service sites degrade to a structured 5xx (accept) or to a requeue
+    # (lease/persist) -- never a lost or duplicated job; the service
+    # chaos suite asserts exactly that.  ``service.persist`` lists no
+    # torn/garbage kinds on purpose: job records ride the atomic
+    # tempfile+fsync+rename protocol, so the realistic failures are a
+    # failing write syscall or a crash, not a torn file.
+    _site("service.accept", "service", ("transient", "oserror"),
+          "a job submission is being admitted (POST /jobs)"),
+    _site("service.lease", "service", ("transient",),
+          "a worker is about to lease the next queued job"),
+    _site("service.persist", "service", ("oserror", "kill"),
+          "a durable job-record write is about to begin"),
 ))
 
 

@@ -408,6 +408,17 @@ def run_parallel_suite(config: SuiteConfig,
                         for line in buffers.get(name, []):
                             note(name, line)
                         emit_index += 1
+        except KeyboardInterrupt:
+            # Operator interrupt (the CLI maps SIGTERM/SIGINT here):
+            # salvage every completed shard checkpoint into the main
+            # manifest before stopping, so a --resume rerun loses at
+            # most the circuits that were mid-flight.
+            if manifest is not None:
+                try:
+                    absorb_shard_files(manifest, manifest_path)
+                except (OSError, ManifestError):
+                    pass  # best-effort: never mask the interrupt
+            raise
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 

@@ -27,6 +27,7 @@ byte-identical to freshly computed ones); the wall-clock ``t_ref`` /
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Callable
@@ -76,10 +77,16 @@ OBS_CACHE_SIZE = 32
 _OBS_CACHE: OrderedDict[tuple[str, int, int, int],
                         tuple[dict[str, float], float]] = OrderedDict()
 
+#: Guards the memo cache: the service worker pool runs several circuits
+#: concurrently in one process, and an unlocked reorder-while-evict
+#: corrupts the OrderedDict.
+_OBS_CACHE_LOCK = threading.Lock()
+
 
 def clear_obs_cache() -> None:
     """Drop every memoized observability result (test isolation hook)."""
-    _OBS_CACHE.clear()
+    with _OBS_CACHE_LOCK:
+        _OBS_CACHE.clear()
 
 
 def cached_observability(circuit: Circuit, n_frames: int, n_patterns: int,
@@ -95,15 +102,17 @@ def cached_observability(circuit: Circuit, n_frames: int, n_patterns: int,
         return compute_observability(circuit, n_frames=n_frames,
                                      n_patterns=n_patterns, seed=seed)
     key = (circuit.fingerprint(), n_frames, n_patterns, seed)
-    hit = _OBS_CACHE.get(key)
-    if hit is not None:
-        _OBS_CACHE.move_to_end(key)
-        return hit
+    with _OBS_CACHE_LOCK:
+        hit = _OBS_CACHE.get(key)
+        if hit is not None:
+            _OBS_CACHE.move_to_end(key)
+            return hit
     value = compute_observability(circuit, n_frames=n_frames,
                                   n_patterns=n_patterns, seed=seed)
-    _OBS_CACHE[key] = value
-    while len(_OBS_CACHE) > OBS_CACHE_SIZE:
-        _OBS_CACHE.popitem(last=False)
+    with _OBS_CACHE_LOCK:
+        _OBS_CACHE[key] = value
+        while len(_OBS_CACHE) > OBS_CACHE_SIZE:
+            _OBS_CACHE.popitem(last=False)
     return value
 
 
@@ -254,6 +263,11 @@ class SuiteConfig:
     deadline: float | None = None
     #: Extra attempts per ladder rung for retryable failures.
     max_retries: int = 1
+    #: Base seconds of the seeded exponential backoff (with jitter)
+    #: slept between retries of the same rung; 0 retries immediately.
+    #: A resilience knob like ``max_retries``: it changes failure
+    #: *pacing* only, never results, so it stays out of the fingerprint.
+    retry_backoff: float = 0.0
     #: Propagate the first failure instead of degrading (debug mode).
     strict: bool = False
     #: Run the post-retime verification guard on every solver result.
@@ -424,7 +438,9 @@ def _optimize_resilient(circuit: Circuit,
         return run_ladder(stage, rungs, circuit=name,
                           max_retries=config.max_retries,
                           deadline=config.deadline, strict=config.strict,
-                          failures=failures)
+                          failures=failures,
+                          backoff=config.retry_backoff,
+                          backoff_seed=config.seed)
 
     # Perf accounting: per-stage wall clocks, analysis-cache counter
     # deltas, incremental-ELW reuse counts and the metrics-registry

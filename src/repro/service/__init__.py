@@ -1,0 +1,41 @@
+"""Retiming-as-a-service: a durable job queue behind a small HTTP API.
+
+The service turns the resilient Table I flow
+(:func:`repro.runtime.suite.optimize_resilient`) into a long-running
+process: clients ``POST`` retiming jobs (a Table I circuit name or an
+inline ``.bench`` netlist), a persistent worker pool executes them with
+a warm shared analysis cache, and every job state transition is durably
+persisted *before* it is acknowledged -- killing the service at any
+point loses no accepted job and completes none twice.
+
+Layering (each module imports only downward)::
+
+    app.py        service wiring: config, signals, drain, monitor loop
+      api.py      HTTP front end (stdlib http.server, threading)
+      workers.py  worker pool: claim -> run -> complete
+        admission.py   validation, queue bound, per-tenant token buckets
+        queue.py       durable FIFO job queue + execution journal
+          jobs.py      job records: states, transitions, atomic persist
+
+The chaos companion :mod:`repro.service.killloop` restarts the service
+under ``kill`` fault plans and proves the exactly-once-completion and
+digest-parity claims.  See ``docs/service.md``.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .jobs import (JOB_STATES, TERMINAL_STATES, JobRecord, job_result_digest,
+                   load_job, save_job)
+from .queue import JobQueue, read_journal
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "job_result_digest",
+    "load_job",
+    "save_job",
+    "JobQueue",
+    "read_journal",
+]

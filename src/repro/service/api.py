@@ -1,0 +1,181 @@
+"""The HTTP front end: stdlib ``http.server``, zero dependencies.
+
+A :class:`~http.server.ThreadingHTTPServer` (daemon threads) serves::
+
+    POST /jobs              submit a job            -> 202 + job record
+    GET  /jobs              queue summary           -> 200
+    GET  /jobs/<id>         job record              -> 200 / 404
+    GET  /jobs/<id>/result  terminal result         -> 200 / 409 / 404
+    GET  /healthz           liveness                -> 200 (always)
+    GET  /readyz            readiness               -> 200 / 503
+    GET  /metrics           Prometheus text         -> 200
+
+Every error is a structured JSON body ``{"error": {"status", "message",
+"field"?, "retry_after"?}}`` -- admission rejections arrive as
+:class:`~repro.errors.AdmissionError` and are rendered field-for-field;
+anything unexpected during submission (including injected
+``service.accept`` faults) maps to a 503 with ``Retry-After``, which is
+safe precisely because admission touches no durable state before the
+queue's submit: a client that never saw a 202 has nothing to lose.
+
+Transient rejections (429 full/ratelimited, 503 draining, 409 result
+not ready) all carry ``Retry-After`` so a dumb retry loop converges.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from ..errors import AdmissionError
+
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 2 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One connection-handling thread per request, all daemonic: a
+    drain never waits on an idle keep-alive socket."""
+
+    daemon_threads = True
+    #: Set by :func:`build_server`; the handler reaches the service
+    #: through ``self.server.service``.
+    service: Any = None
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:
+        self.service.log(f"http: {self.address_string()} {format % args}")
+
+    def _send_json(self, status: int, payload: dict[str, Any],
+                   headers: dict[str, str] | None = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, *,
+               field: str | None = None,
+               retry_after: float | None = None) -> None:
+        error: dict[str, Any] = {"status": status, "message": message}
+        headers: dict[str, str] = {}
+        if field is not None:
+            error["field"] = field
+        if retry_after is not None:
+            error["retry_after"] = retry_after
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+        self._send_json(status, {"error": error}, headers=headers)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"ok": True,
+                                  "draining": self.service.draining})
+            return
+        if path == "/readyz":
+            ready, why = self.service.readiness()
+            if ready:
+                self._send_json(200, {"ready": True})
+            else:
+                self._error(503, why, retry_after=2.0)
+            return
+        if path == "/metrics":
+            self._send_text(200, self.service.metrics_text())
+            return
+        if path == "/jobs":
+            self._send_json(200, self.service.queue_summary())
+            return
+        if path.startswith("/jobs/"):
+            parts = path.split("/")[2:]
+            record = self.service.queue.get(parts[0])
+            if record is None:
+                self._error(404, f"unknown job {parts[0]!r}")
+            elif len(parts) == 1:
+                self._send_json(200, {"job": record.to_dict()})
+            elif parts[1:] == ["result"]:
+                if not record.terminal():
+                    self._error(
+                        409, f"job {record.id} is {record.state}; result "
+                        f"not available yet", retry_after=1.0)
+                else:
+                    self._send_json(200, {
+                        "id": record.id, "state": record.state,
+                        "result": record.result, "error": record.error})
+            else:
+                self._error(404, f"no route {path!r}")
+            return
+        self._error(404, f"no route {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"no route {path!r}")
+            return
+        if self.service.draining:
+            self._error(503, "service is draining", retry_after=10.0)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._error(411, "Content-Length is required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body too large ({length} bytes, "
+                             f"max {MAX_BODY_BYTES})")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        try:
+            record = self.service.submit(payload)
+        except AdmissionError as exc:
+            self._error(exc.status, str(exc), field=exc.field,
+                        retry_after=exc.retry_after)
+            return
+        except Exception as exc:
+            # Includes injected service.accept faults: nothing durable
+            # happened, so the honest answer is "try again".
+            self._error(503, f"submission failed transiently: "
+                             f"{type(exc).__name__}: {exc}",
+                        retry_after=2.0)
+            return
+        self._send_json(202, {"job": record.to_dict(),
+                              "url": f"/jobs/{record.id}"},
+                        headers={"Location": f"/jobs/{record.id}"})
+
+
+def build_server(service: Any, host: str, port: int) -> ServiceHTTPServer:
+    """Bind the HTTP server (``port`` 0 picks an ephemeral port)."""
+    server = ServiceHTTPServer((host, port), ServiceRequestHandler)
+    server.service = service
+    return server

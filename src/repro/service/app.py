@@ -1,0 +1,246 @@
+"""Service wiring: config, startup recovery, signals, graceful drain.
+
+:class:`RetimingService` owns the whole resident process:
+
+* **Startup** -- recover the queue directory (requeue interrupted work,
+  quarantine corrupt records), install the process-wide analysis cache
+  (the warm tier every worker thread shares), start the worker pool,
+  the monitor loop and the HTTP server, then write
+  ``<root>/service.json`` (``{"host", "port", "pid"}``) so harnesses
+  and scripts can discover an ephemeral port.
+* **Monitor loop** -- periodically requeues expired leases (the live
+  twin of startup recovery) and, under ``drain_after_idle``, initiates
+  a drain once the queue has been idle for ``idle_grace`` seconds (the
+  batch mode the kill-loop harness runs the service in).
+* **Drain** (SIGTERM/SIGINT, idle, or :meth:`initiate_drain`) -- stop
+  admitting (503 + Retry-After), let in-flight jobs finish within
+  ``drain_timeout``, release whatever is left (back to ``queued``, no
+  budget consumed), stop the HTTP server, remove the endpoint file and
+  return 0.  After a clean drain the queue holds zero ``leased`` or
+  ``running`` records -- the invariant the service tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import cache as analysis_cache
+from ..circuits.suites import DEFAULT_SCALE
+from ..telemetry import REGISTRY
+from .admission import AdmissionController
+from .api import build_server
+from .jobs import JobRecord
+from .queue import JobQueue
+from .workers import ExecutionDefaults, WorkerPool
+
+ENDPOINT_NAME = "service.json"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro-ser serve`` configures."""
+
+    root: str
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (published via the endpoint
+    #: file).
+    port: int = 0
+    #: Worker threads.
+    pool: int = 2
+    #: Maximum non-terminal jobs before submissions get 429.
+    queue_limit: int = 64
+    #: Token-bucket refill rate (submissions/second/tenant) and burst.
+    rate: float = 10.0
+    burst: float = 20.0
+    lease_seconds: float = 60.0
+    max_requeues: int = 2
+    #: Default experiment knobs jobs inherit when their spec is silent.
+    scale: float = DEFAULT_SCALE
+    deadline: float | None = None
+    max_retries: int = 1
+    retry_backoff: float = 0.0
+    #: Shared analysis cache (memory + ``<root>/cache`` disk tier).
+    cache: bool = True
+    #: Exit 0 once the queue has been idle for ``idle_grace`` seconds
+    #: (batch mode; the chaos harness drives the service this way).
+    drain_after_idle: bool = False
+    idle_grace: float = 2.0
+    drain_timeout: float = 30.0
+    monitor_interval: float = 0.5
+    verbose: bool = False
+
+
+class RetimingService:
+    """One resident retiming service over one queue directory."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        os.makedirs(config.root, exist_ok=True)
+        self.queue = JobQueue(config.root,
+                              lease_seconds=config.lease_seconds,
+                              max_requeues=config.max_requeues)
+        self.admission = AdmissionController(
+            queue_limit=config.queue_limit, rate=config.rate,
+            burst=config.burst)
+        self.defaults = ExecutionDefaults(
+            scale=config.scale, deadline=config.deadline,
+            max_retries=config.max_retries,
+            retry_backoff=config.retry_backoff)
+        self.pool = WorkerPool(self.queue, self.defaults,
+                               pool_size=config.pool)
+        self.draining = False
+        self._drain_requested = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self.server = None
+        self.recovery: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Handler-facing API (see api.py)
+    # ------------------------------------------------------------------
+    def log(self, message: str) -> None:
+        if self.config.verbose:
+            print(f"[service] {message}", file=sys.stderr, flush=True)
+
+    def submit(self, payload: Any) -> JobRecord:
+        spec, tenant = self.admission.admit(payload, self.queue.depth())
+        record = self.queue.submit(spec, tenant=tenant)
+        self.log(f"accepted job {record.id} ({spec.get('circuit') or spec.get('name')})")
+        return record
+
+    def readiness(self) -> tuple[bool, str]:
+        if self.draining:
+            return False, "service is draining"
+        if self.queue.depth() >= self.config.queue_limit:
+            return False, "queue is full"
+        return True, ""
+
+    def metrics_text(self) -> str:
+        counts = self.queue.counts()
+        for state, count in counts.items():
+            REGISTRY.gauge(f"service.queue.{state}").set(count)
+        REGISTRY.gauge("service.workers.busy").set(self.pool.busy())
+        REGISTRY.gauge("service.draining").set(1.0 if self.draining else 0.0)
+        return REGISTRY.to_prometheus()
+
+    def queue_summary(self) -> dict[str, Any]:
+        jobs = [{"id": r.id, "state": r.state, "tenant": r.tenant,
+                 "attempts": r.attempts, "requeues": r.requeues}
+                for r in self.queue.jobs()]
+        jobs.sort(key=lambda j: j["id"])
+        return {"counts": self.queue.counts(), "jobs": jobs}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initiate_drain(self, why: str) -> None:
+        """Idempotent; flips the service into draining mode and wakes
+        :meth:`serve` to run the drain sequence."""
+        if not self.draining:
+            self.draining = True
+            self.log(f"drain initiated ({why})")
+        self._drain_requested.set()
+
+    def _monitor_loop(self) -> None:
+        idle_since: float | None = None
+        while not self._drain_requested.wait(self.config.monitor_interval):
+            expired = self.queue.requeue_expired()
+            for job_id in expired:
+                self.log(f"lease expired, requeued {job_id}")
+            if self.config.drain_after_idle:
+                if self.queue.idle():
+                    if idle_since is None:
+                        idle_since = time.monotonic()
+                    elif time.monotonic() - idle_since \
+                            >= self.config.idle_grace:
+                        self.initiate_drain("queue idle")
+                        return
+                else:
+                    idle_since = None
+
+    def _endpoint_path(self) -> str:
+        return os.path.join(self.config.root, ENDPOINT_NAME)
+
+    def _write_endpoint(self, host: str, port: int) -> None:
+        with open(self._endpoint_path(), "w", encoding="utf-8") as handle:
+            json.dump({"host": host, "port": port, "pid": os.getpid()},
+                      handle)
+            handle.write("\n")
+
+    def serve(self) -> int:
+        """Run until drained; returns the process exit code (0)."""
+        config = self.config
+        self.recovery = self.queue.recover()
+        for key in ("requeued", "quarantined", "corrupt"):
+            if self.recovery[key]:
+                self.log(f"recovery {key}: "
+                         f"{', '.join(self.recovery[key])}")
+        if config.cache:
+            analysis_cache.configure(os.path.join(config.root, "cache"))
+
+        self.server = build_server(self, config.host, config.port)
+        host, port = self.server.server_address[:2]
+        self._write_endpoint(str(host), int(port))
+        self.log(f"listening on {host}:{port} "
+                 f"(pool={config.pool}, root={config.root})")
+
+        # Registered from the main thread only (signal module contract);
+        # both signals mean the same thing here: finish what you hold,
+        # persist everything, exit 0.
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(
+                    signum,
+                    lambda s, frame: self.initiate_drain(
+                        signal.Signals(s).name))
+
+        self.pool.start()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="monitor", daemon=True)
+        self._monitor.start()
+        http_thread = threading.Thread(target=self.server.serve_forever,
+                                       name="http", daemon=True)
+        http_thread.start()
+
+        self._drain_requested.wait()
+        self.draining = True
+        clean = self.pool.drain(config.drain_timeout)
+        if not clean:
+            self.log("drain timeout: released in-flight leases")
+        self.server.shutdown()
+        http_thread.join(5.0)
+        self.server.server_close()
+        if self._monitor is not None:
+            self._monitor.join(2.0)
+        if config.cache:
+            analysis_cache.deactivate()
+        try:
+            os.unlink(self._endpoint_path())
+        except OSError:
+            pass
+        counts = self.queue.counts()
+        assert counts["leased"] == 0 and counts["running"] == 0, counts
+        self.log(f"drained; final counts {counts}")
+        return 0
+
+
+def read_endpoint(root: str, timeout: float = 10.0) -> dict[str, Any]:
+    """Wait for and read a service's endpoint file (harness helper)."""
+    path = os.path.join(root, ENDPOINT_NAME)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"service endpoint file {path!r} did not appear "
+                    f"within {timeout:g}s")
+            time.sleep(0.05)

@@ -1,0 +1,301 @@
+"""The service kill-loop: crash the service until the queue drains, then
+prove nothing was lost, duplicated or silently wrong.
+
+The harness seeds a queue directory with jobs offline, then repeatedly
+launches ``repro-ser serve --drain-after-idle`` as a subprocess armed
+(via ``REPRO_FAULT_PLAN``) with ``kill`` faults at ``service.persist``
+-- every durable job-record write is a potential crash point, which
+covers every lifecycle transition: admission persists, lease persists,
+start/complete/fail persists, recovery's requeue persists.  Each launch
+reseeds the plan (``seed + attempt``) so restarts die at different
+points instead of livelocking on one.
+
+A launch ends one of three ways: exit
+:data:`~repro.faultplane.plan.KILL_EXIT_CODE` (injected kill -- restart
+and let startup recovery repair the queue), exit 0 (the queue drained
+idle -- stop), anything else (a real bug -- fail loudly).
+
+Verification after the drain:
+
+* **no lost jobs** -- every seeded job exists and is ``done``;
+* **exactly-once completion** -- the execution journal holds at most
+  one ``done`` per job, and no ``start`` after a ``done`` (a completed
+  job was never re-executed);
+* **digest parity** -- each job's result digest equals the clean
+  in-process reference for the same spec
+  (:func:`~repro.service.workers.execute_job` with no faults and no
+  cache), i.e. crash recovery plus the warm shared cache changed
+  *nothing* about the answer.
+
+Run it directly (CI does, across several seeds)::
+
+    PYTHONPATH=src python -m repro.service.killloop \\
+        --circuits s13207 s15850.1 --scale 0.004 --seeds 0 1 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import JobStateError
+from ..faultplane.plan import ENV_PLAN, KILL_EXIT_CODE, FaultPlan, FaultSpec
+from .jobs import TERMINAL_STATES, load_job
+from .queue import JobQueue, read_journal
+from .workers import ExecutionDefaults, execute_job
+
+#: Generous per-launch wall-clock bound; a hung service is a failure.
+LAUNCH_TIMEOUT = 600.0
+
+
+@dataclass
+class KillLoopResult:
+    """Scorecard of one seeded kill-loop run."""
+
+    seed: int
+    launches: int = 0
+    kills: int = 0
+    jobs: int = 0
+    requeues: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "launches": self.launches,
+                "kills": self.kills, "jobs": self.jobs,
+                "requeues": self.requeues, "ok": self.ok,
+                "violations": list(self.violations)}
+
+
+def job_specs(circuits: list[str], scale: float, frames: int,
+              patterns: int, seed: int) -> list[dict[str, Any]]:
+    """Fully explicit specs (every knob pinned) so the service-side and
+    reference-side executions agree field-for-field."""
+    return [{"circuit": name, "scale": scale, "seed": seed,
+             "frames": frames, "patterns": patterns}
+            for name in circuits]
+
+
+def seed_queue(root: str, specs: list[dict[str, Any]],
+               max_requeues: int) -> dict[str, dict[str, Any]]:
+    """Offline-enqueue the jobs; returns ``{job id: spec}``."""
+    queue = JobQueue(root, max_requeues=max_requeues)
+    return {queue.submit(spec).id: spec for spec in specs}
+
+
+def reference_digests(specs: list[dict[str, Any]],
+                      scale: float) -> dict[str, str]:
+    """Clean in-process digests, keyed by circuit name.
+
+    No injector, no cache: the plainest possible execution of each
+    spec, the oracle every crash-recovered service result must match.
+    """
+    defaults = ExecutionDefaults(scale=scale)
+    results = {}
+    for spec in specs:
+        result = execute_job(spec, defaults)
+        results[result["name"]] = result["digest"]
+    return results
+
+
+def kill_plan(seed: int, kill_prob: float, trigger: int) -> FaultPlan:
+    """Kills at a durable job-record write, with probability.
+
+    ``trigger`` escalates with the launch number: the fault only
+    becomes eligible on the Nth persist, so launch N is guaranteed to
+    survive at least N-1 persists.  That makes convergence *monotone*:
+    a job needs a few consecutive clean persists (claim -> start ->
+    complete) to reach a terminal state, and a fixed trigger of 1 at
+    high probability would tear that chain on every single launch --
+    measured livelock, not a hypothetical.
+    """
+    return FaultPlan(seed=seed, faults=[
+        FaultSpec(site="service.persist", kind="kill", trigger=trigger,
+                  arms=1, probability=kill_prob)])
+
+
+def serve_argv(root: str, *, pool: int, scale: float,
+               max_requeues: int) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+            "--port", "0", "--pool", str(pool), "--scale", str(scale),
+            "--max-requeues", str(max_requeues), "--lease-seconds", "30",
+            "--drain-after-idle", "--idle-grace", "1.0"]
+
+
+def verify(root: str, seeded: dict[str, dict[str, Any]],
+           references: dict[str, str], result: KillLoopResult) -> None:
+    """Check the three invariants; appends violations to ``result``.
+
+    Reads the job records straight off disk (no
+    :meth:`~repro.service.queue.JobQueue.recover`): the verifier must
+    inspect the evidence, not repair it.
+    """
+    records = {}
+    jobs_dir = os.path.join(root, "jobs")
+    for entry in sorted(os.listdir(jobs_dir)):
+        if entry.startswith("."):
+            continue  # atomic-write temp debris; harmless by protocol
+        if entry.endswith(".corrupt"):
+            result.violations.append(
+                f"torn job record survived the atomic-write protocol: "
+                f"{entry}")
+            continue
+        if not entry.endswith(".json"):
+            continue
+        try:
+            record = load_job(os.path.join(jobs_dir, entry))
+        except JobStateError as exc:
+            result.violations.append(f"unreadable job record: {exc}")
+            continue
+        records[record.id] = record
+
+    for job_id, spec in seeded.items():
+        record = records.get(job_id)
+        if record is None:
+            result.violations.append(f"job {job_id} was lost")
+            continue
+        result.requeues += record.requeues
+        if record.state != "done":
+            result.violations.append(
+                f"job {job_id} ({spec.get('circuit')}) ended "
+                f"{record.state!r}, not done: {record.error}")
+            continue
+        name = record.result["name"]
+        digest = record.result["digest"]
+        expected = references.get(name)
+        if digest != expected:
+            result.violations.append(
+                f"job {job_id} ({name}) digest {digest} != clean "
+                f"reference {expected}")
+    for job_id, record in records.items():
+        if job_id not in seeded:
+            result.violations.append(f"phantom job {job_id} appeared")
+        if record.state not in TERMINAL_STATES:
+            result.violations.append(
+                f"job {job_id} left non-terminal ({record.state})")
+
+    done_at: dict[str, int] = {}
+    for index, event in enumerate(read_journal(root)):
+        job_id, kind = str(event.get("job")), event.get("event")
+        if kind == "done":
+            if job_id in done_at:
+                result.violations.append(
+                    f"job {job_id} completed twice (journal)")
+            done_at.setdefault(job_id, index)
+        elif kind == "start" and job_id in done_at:
+            result.violations.append(
+                f"job {job_id} re-executed after completion (journal)")
+
+
+def run_kill_loop(root: str, circuits: list[str], *, seed: int = 0,
+                  scale: float = 0.004, frames: int = 2,
+                  patterns: int = 64, pool: int = 2,
+                  kill_prob: float = 0.35, max_launches: int = 40,
+                  max_requeues: int = 100,
+                  verbose: bool = False) -> KillLoopResult:
+    """One seeded kill-loop over a fresh queue directory.
+
+    ``max_requeues`` is deliberately huge: the production budget guards
+    against requeue livelock, but here every crash is *injected* and
+    ``max_launches`` already bounds the loop -- quarantining a job for
+    surviving many induced crashes would fail the run for doing its job.
+    """
+    result = KillLoopResult(seed=seed)
+    os.makedirs(root, exist_ok=True)
+    specs = job_specs(circuits, scale, frames, patterns, seed)
+    seeded = seed_queue(root, specs, max_requeues)
+    result.jobs = len(seeded)
+    references = reference_digests(specs, scale)
+
+    argv = serve_argv(root, pool=pool, scale=scale,
+                      max_requeues=max_requeues)
+    while result.launches < max_launches:
+        result.launches += 1
+        env = dict(os.environ)
+        env[ENV_PLAN] = kill_plan(seed + result.launches, kill_prob,
+                                  trigger=result.launches).to_json()
+        if verbose:
+            print(f"[killloop seed={seed}] launch {result.launches}",
+                  file=sys.stderr, flush=True)
+        proc = subprocess.run(argv, env=env, timeout=LAUNCH_TIMEOUT,
+                              capture_output=not verbose)
+        if proc.returncode == 0:
+            break
+        if proc.returncode != KILL_EXIT_CODE:
+            stderr = b"" if verbose else proc.stderr
+            result.violations.append(
+                f"launch {result.launches} exited "
+                f"{proc.returncode}: {stderr.decode()[-400:]}")
+            return result
+        result.kills += 1
+    else:
+        result.violations.append(
+            f"queue did not drain within {max_launches} launches")
+        return result
+
+    verify(root, seeded, references, result)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="service kill-loop chaos harness")
+    parser.add_argument("--circuits", nargs="+",
+                        default=["s13207", "s15850.1"])
+    parser.add_argument("--seeds", nargs="+", type=int, default=[0])
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--frames", type=int, default=2)
+    parser.add_argument("--patterns", type=int, default=64)
+    parser.add_argument("--pool", type=int, default=2)
+    parser.add_argument("--kill-prob", type=float, default=0.35)
+    parser.add_argument("--max-launches", type=int, default=40)
+    parser.add_argument("--workdir", default=None,
+                        help="parent of the per-seed queue dirs "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--json", default=None,
+                        help="write the scorecards here as JSON")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-killloop-")
+    print(f"kill-loop working in {workdir}", file=sys.stderr)
+
+    cards = []
+    for seed in args.seeds:
+        started = time.monotonic()
+        card = run_kill_loop(
+            os.path.join(workdir, f"seed-{seed}"), args.circuits,
+            seed=seed, scale=args.scale, frames=args.frames,
+            patterns=args.patterns, pool=args.pool,
+            kill_prob=args.kill_prob, max_launches=args.max_launches,
+            verbose=args.verbose)
+        cards.append(card)
+        status = "ok" if card.ok else "FAIL"
+        print(f"seed {seed}: {status}  launches={card.launches} "
+              f"kills={card.kills} requeues={card.requeues} "
+              f"jobs={card.jobs} ({time.monotonic() - started:.1f}s)")
+        for violation in card.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([c.to_dict() for c in cards], handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    return 0 if all(card.ok for card in cards) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The worker pool: claim -> start -> execute -> complete, in threads.
+
+Workers are *threads*, not processes: one shared warm analysis cache
+(:mod:`repro.cache` plus the suite's observability memo) is the whole
+point of a resident service -- a resubmitted circuit reuses the
+expensive simulation results instead of recomputing them.  The numeric
+kernels release work to numpy, so thread workers overlap usefully
+despite the GIL; crash isolation comes from the durable queue, not from
+process boundaries.
+
+Failure routing (the heart of the never-lose-a-job claim):
+
+* The *job* fails deterministically (every ladder rung gave up -- the
+  row status is ``failed:<stage>``): terminal ``failed``, with the
+  degraded record attached.  Retrying cannot help.
+* The *infrastructure* fails (an injected ``service.persist`` fault, a
+  disk error, any unexpected exception): budgeted ``requeue``.  If even
+  the requeue persist fails, the job simply stays leased -- the monitor
+  loop's lease expiry requeues it later.  There is no code path that
+  discards a claimed job.
+* A :class:`~repro.errors.JobStateError` means this worker lost a race
+  (graceful drain released the job, or an expired lease requeued it and
+  someone else finished it): drop the local result on the floor -- the
+  queue's transition table already guaranteed only one outcome won.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..circuits.suites import DEFAULT_SCALE, table1_circuit
+from ..errors import JobStateError
+from ..netlist.bench_format import loads_bench
+from ..netlist.circuit import Circuit
+from ..runtime.suite import SuiteConfig, optimize_resilient
+from ..telemetry import REGISTRY
+from .jobs import job_result_digest
+from .queue import JobQueue
+
+
+@dataclass(frozen=True)
+class ExecutionDefaults:
+    """Service-wide experiment/resilience defaults a job spec may
+    override (the spec wins field-by-field)."""
+
+    scale: float = DEFAULT_SCALE
+    seed: int = 0
+    n_frames: int = 15
+    n_patterns: int = 256
+    epsilon: float = 0.10
+    algorithms: tuple[str, ...] = ("minobs", "minobswin")
+    deadline: float | None = None
+    max_retries: int = 1
+    retry_backoff: float = 0.0
+
+
+def build_circuit(spec: dict[str, Any],
+                  defaults: ExecutionDefaults) -> tuple[str, Circuit,
+                                                        float | None]:
+    """Materialize the job's circuit; returns (name, circuit, scale)."""
+    if "circuit" in spec:
+        name = str(spec["circuit"])
+        scale = float(spec.get("scale", defaults.scale))
+        circuit = table1_circuit(name, scale=scale,
+                                 seed=int(spec.get("seed", defaults.seed)))
+        return name, circuit, scale
+    name = str(spec.get("name", "inline"))
+    return name, loads_bench(str(spec["netlist"]), name), None
+
+
+def execute_job(spec: dict[str, Any],
+                defaults: ExecutionDefaults) -> dict[str, Any]:
+    """Run one job spec through the resilient pipeline.
+
+    Returns the terminal result payload: the circuit record dict plus
+    its :func:`~repro.service.jobs.job_result_digest` -- byte-equal, by
+    the manifest masking contract, to what a clean serial ``table1`` run
+    of the same experiment knobs would record for this circuit.
+    """
+    name, circuit, scale = build_circuit(spec, defaults)
+    config = SuiteConfig(
+        circuits=(name,), scale=scale,
+        seed=int(spec.get("seed", defaults.seed)),
+        n_frames=int(spec.get("frames", defaults.n_frames)),
+        n_patterns=int(spec.get("patterns", defaults.n_patterns)),
+        epsilon=float(spec.get("epsilon", defaults.epsilon)),
+        algorithms=tuple(spec.get("algorithms", defaults.algorithms)),
+        maximal_start=bool(spec.get("maximal_start", False)),
+        restart=bool(spec.get("restart", True)),
+        deadline=defaults.deadline, max_retries=defaults.max_retries,
+        retry_backoff=defaults.retry_backoff)
+    run = optimize_resilient(circuit, config)
+    record = run.to_record().to_dict()
+    return {"name": name, "status": run.status, "record": record,
+            "digest": job_result_digest(name, record)}
+
+
+class WorkerPool:
+    """N claim-execute threads plus one lease-heartbeat thread."""
+
+    def __init__(self, queue: JobQueue, defaults: ExecutionDefaults, *,
+                 pool_size: int = 2, poll_interval: float = 0.2,
+                 heartbeat_interval: float | None = None):
+        self.queue = queue
+        self.defaults = defaults
+        self.pool_size = max(1, int(pool_size))
+        self.poll_interval = float(poll_interval)
+        # A third of the lease keeps two missed beats from expiring it.
+        self.heartbeat_interval = heartbeat_interval if \
+            heartbeat_interval is not None else queue.lease_seconds / 3.0
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._heartbeat: threading.Thread | None = None
+        self._current: dict[str, str] = {}  # worker name -> job id
+        self._current_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.pool_size):
+            name = f"worker-{index}"
+            thread = threading.Thread(target=self._run, args=(name,),
+                                      name=name, daemon=True)
+            self._threads.append(thread)
+            thread.start()
+        self._heartbeat = threading.Thread(target=self._beat,
+                                           name="heartbeat", daemon=True)
+        self._heartbeat.start()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop claiming, wait for in-flight jobs, release stragglers.
+
+        Returns True when every worker exited within the timeout.  A
+        worker still mid-job past the deadline has its lease released
+        (back to ``queued``, no budget consumed) so the queue holds zero
+        ``leased``/``running`` records at exit; if that zombie thread
+        eventually finishes, its completion loses the transition race
+        and is dropped.
+        """
+        self._stop.set()
+        deadline = time.monotonic() + max(0.0, timeout)
+        clean = True
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            clean = clean and not thread.is_alive()
+        if self._heartbeat is not None:
+            self._heartbeat.join(max(0.1, deadline - time.monotonic()))
+        for job_id in self.in_flight():
+            try:
+                self.queue.release(job_id)
+            except (JobStateError, OSError):
+                pass  # already terminal, or persist refused -- monitor's job
+        return clean
+
+    def in_flight(self) -> list[str]:
+        with self._current_lock:
+            return sorted(self._current.values())
+
+    def busy(self) -> int:
+        with self._current_lock:
+            return len(self._current)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def _set_current(self, worker: str, job_id: str | None) -> None:
+        with self._current_lock:
+            if job_id is None:
+                self._current.pop(worker, None)
+            else:
+                self._current[worker] = job_id
+
+    def _run(self, worker: str) -> None:
+        while not self._stop.is_set():
+            try:
+                record = self.queue.claim(worker)
+            except Exception:
+                # An injected/real lease fault: nothing was leased
+                # (claim persists before returning), so just back off.
+                REGISTRY.counter("service.lease.errors").inc()
+                self._stop.wait(self.poll_interval)
+                continue
+            if record is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            self._set_current(worker, record.id)
+            try:
+                self._execute(record.id, record.spec)
+            finally:
+                self._set_current(worker, None)
+
+    def _execute(self, job_id: str, spec: dict[str, Any]) -> None:
+        try:
+            self.queue.start(job_id)
+            result = execute_job(spec, self.defaults)
+            if result["status"].startswith("failed:"):
+                self.queue.fail(job_id, {
+                    "message": f"pipeline gave up ({result['status']})",
+                    "name": result["name"], "record": result["record"],
+                    "digest": result["digest"]})
+            else:
+                self.queue.complete(job_id, result)
+        except JobStateError:
+            pass  # lost a drain/expiry race; the queue's outcome stands
+        except Exception as exc:
+            REGISTRY.counter("service.jobs.errors").inc()
+            try:
+                self.queue.requeue(
+                    job_id, reason=f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass  # still leased; lease expiry will requeue it
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            for job_id in self.in_flight():
+                try:
+                    self.queue.heartbeat(job_id)
+                except Exception:
+                    pass  # job finished or persist refused; never fatal

@@ -1,0 +1,145 @@
+"""Chaos tests for the service fault sites.
+
+Each ``service.*`` site is exercised in-process with an installed
+injector: an injected failure must surface as a 5xx (admission), a
+backed-off retry (lease), or a budgeted requeue (persist) -- never a
+lost or duplicated job.  The full out-of-process kill-loop (subprocess
+SIGKILL-style exits at every persist) is gated behind ``REPRO_CHAOS=1``
+like the other heavy recovery runs.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import JobStateError
+from repro.faultplane import hooks
+from repro.faultplane.plan import FaultInjector, FaultPlan, FaultSpec
+from repro.service.queue import JobQueue, read_journal
+
+heavy = pytest.mark.skipif(not os.environ.get("REPRO_CHAOS"),
+                           reason="set REPRO_CHAOS=1 to run the "
+                                  "chaos suite")
+
+
+def inject(site, kind, trigger=1, arms=1, seed=0):
+    plan = FaultPlan(seed=seed, faults=[
+        FaultSpec(site=site, kind=kind, trigger=trigger, arms=arms,
+                  probability=1.0)])
+    return hooks.installed(FaultInjector(plan))
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path, lease_seconds=60.0, max_requeues=2)
+
+
+class TestAcceptFaults:
+    def test_transient_accept_fault_is_503_then_ok(self, tmp_path):
+        from repro.service.admission import AdmissionController
+
+        controller = AdmissionController(queue_limit=8, rate=100.0,
+                                         burst=100.0)
+        with inject("service.accept", "transient"):
+            with pytest.raises(Exception) as excinfo:
+                controller.admit({"circuit": "s13207"}, 0)
+            # Not an AdmissionError: the HTTP layer maps it to a 503.
+            assert not hasattr(excinfo.value, "status")
+            # The next request sails through -- nothing durable happened.
+            spec, _ = controller.admit({"circuit": "s13207"}, 0)
+            assert spec == {"circuit": "s13207"}
+
+
+class TestPersistFaults:
+    def test_submit_persist_fault_leaves_no_record(self, queue, tmp_path):
+        with inject("service.persist", "oserror"):
+            with pytest.raises(OSError):
+                queue.submit({"circuit": "s13207"})
+        assert queue.depth() == 0
+        real = [e for e in os.listdir(tmp_path / "jobs")
+                if not e.startswith(".")]
+        assert real == []  # the client's 503 promised nothing durable
+
+    def test_claim_persist_fault_rolls_back_to_queued(self, queue):
+        record = queue.submit({})
+        with inject("service.persist", "oserror"):
+            with pytest.raises(OSError):
+                queue.claim("w0")
+        assert queue.get(record.id).state == "queued"
+        assert queue.get(record.id).lease is None
+        # The rolled-back job is immediately claimable again.
+        assert queue.claim("w0").id == record.id
+
+    def test_complete_persist_fault_requeues_once(self, queue, tmp_path):
+        """The worker's failure routing end-to-end: a failed completion
+        persist rolls back to ``running``, the requeue consumes one unit
+        of budget, and the retry produces exactly one journal ``done``."""
+        record = queue.submit({})
+        queue.claim("w0")
+        queue.start(record.id)
+        with inject("service.persist", "oserror"):
+            with pytest.raises(OSError):
+                queue.complete(record.id, {"digest": "sha256:x"})
+            # Memory did not run ahead of disk: still running, and the
+            # worker's requeue path is legal.
+            assert queue.get(record.id).state == "running"
+            queue.requeue(record.id, "InjectedIOError")
+        queue.claim("w0")
+        queue.start(record.id)
+        queue.complete(record.id, {"digest": "sha256:x"})
+
+        events = [e["event"] for e in read_journal(tmp_path)]
+        assert events.count("done") == 1
+        done_index = events.index("done")
+        assert "start" not in events[done_index:]
+
+    def test_requeue_persist_fault_keeps_job_leased(self, queue):
+        """If even the requeue persist fails the job stays leased --
+        the lease-expiry sweep is the recovery of last resort."""
+        record = queue.submit({})
+        queue.claim("w0")
+        with inject("service.persist", "oserror"):
+            with pytest.raises(OSError):
+                queue.requeue(record.id, "boom")
+        assert queue.get(record.id).state == "leased"
+        assert queue.get(record.id).requeues == 0  # budget not consumed
+
+
+class TestLeaseFaults:
+    def test_worker_backs_off_lease_fault_and_completes(self, tmp_path):
+        """A transient claim fault costs a poll interval, not the job."""
+        from repro.service.workers import ExecutionDefaults, WorkerPool
+
+        queue = JobQueue(tmp_path, lease_seconds=60.0)
+        pool = WorkerPool(queue, ExecutionDefaults(), pool_size=1,
+                          poll_interval=0.05)
+        netlist = ("INPUT(a)\nOUTPUT(y)\ns1 = DFF(g1)\n"
+                   "g1 = NAND(a, s1)\ny = NOT(s1)\n")
+        record = queue.submit({"netlist": netlist, "name": "t",
+                               "frames": 2, "patterns": 8})
+        with inject("service.lease", "transient", arms=2):
+            pool.start()
+            try:
+                import time
+
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if queue.get(record.id).terminal():
+                        break
+                    time.sleep(0.05)
+            finally:
+                assert pool.drain(10.0)
+        assert queue.get(record.id).state == "done"
+
+
+@heavy
+class TestKillLoop:
+    def test_kill_loop_converges_with_exactly_once_completion(self,
+                                                              tmp_path):
+        from repro.service.killloop import run_kill_loop
+
+        result = run_kill_loop(
+            str(tmp_path / "q"), ["s13207"], seed=1, scale=0.004,
+            frames=2, patterns=64, pool=2, kill_prob=0.5)
+        assert result.ok, result.violations
+        assert result.kills >= 1  # the harness actually killed something

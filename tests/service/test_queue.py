@@ -1,0 +1,293 @@
+"""The durable queue: leases, recovery, journal, and its invariants.
+
+The property tests drive the queue with a *logical* clock and random
+operation sequences (hypothesis) and assert the two load-bearing
+claims: no job is ever leased by two workers at once, and every
+accepted job either reaches a terminal state or stays claimable --
+nothing is ever lost.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JobStateError
+from repro.service.jobs import load_job
+from repro.service.queue import JobQueue, read_journal
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return JobQueue(tmp_path, lease_seconds=60.0, max_requeues=2,
+                    clock=clock)
+
+
+class TestLifecycle:
+    def test_submit_is_durable(self, queue, tmp_path):
+        record = queue.submit({"circuit": "s13207"})
+        assert record.state == "queued"
+        on_disk = load_job(tmp_path / "jobs" / f"{record.id}.json")
+        assert on_disk.state == "queued"
+        assert on_disk.spec == {"circuit": "s13207"}
+
+    def test_claim_is_fifo(self, queue, clock):
+        first = queue.submit({"circuit": "a"})
+        clock.advance(1)
+        second = queue.submit({"circuit": "b"})
+        assert queue.claim("w0").id == first.id
+        assert queue.claim("w1").id == second.id
+        assert queue.claim("w2") is None
+
+    def test_full_happy_path(self, queue, tmp_path):
+        record = queue.submit({"circuit": "a"})
+        claimed = queue.claim("w0")
+        assert claimed.attempts == 1
+        assert claimed.lease["worker"] == "w0"
+        queue.start(record.id)
+        done = queue.complete(record.id, {"digest": "sha256:x"})
+        assert done.state == "done" and done.lease is None
+        events = [(e["event"], e["job"]) for e in read_journal(tmp_path)]
+        assert events == [("start", record.id), ("done", record.id)]
+
+    def test_fail_is_terminal(self, queue):
+        record = queue.submit({})
+        queue.claim("w0")
+        queue.start(record.id)
+        queue.fail(record.id, {"message": "gave up"})
+        assert queue.get(record.id).state == "failed"
+        assert queue.idle()
+
+    def test_release_does_not_consume_budget(self, queue):
+        record = queue.submit({})
+        queue.claim("w0")
+        released = queue.release(record.id)
+        assert released.state == "queued"
+        assert released.requeues == 0
+        assert queue.claim("w1").id == record.id  # immediately claimable
+
+    def test_requeue_budget_quarantines(self, queue):
+        record = queue.submit({})
+        for _ in range(queue.max_requeues):
+            queue.claim("w0")
+            assert queue.requeue(record.id, "boom").state == "queued"
+        queue.claim("w0")
+        assert queue.requeue(record.id, "boom").state == "quarantined"
+
+    def test_counts(self, queue, clock):
+        record = queue.submit({})
+        clock.advance(1)
+        queue.submit({})
+        assert queue.claim("w0").id == record.id
+        counts = queue.counts()
+        assert counts["queued"] == 1 and counts["leased"] == 1
+        assert queue.depth() == 2
+        queue.start(record.id)
+        queue.complete(record.id, {})
+        assert queue.depth() == 1
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_requeues_exactly_once(self, queue, clock):
+        record = queue.submit({})
+        queue.claim("w0")
+        clock.advance(59.0)
+        assert queue.requeue_expired() == []
+        clock.advance(2.0)
+        assert queue.requeue_expired() == [record.id]
+        assert queue.get(record.id).state == "queued"
+        assert queue.get(record.id).requeues == 1
+        # A second sweep finds nothing: the requeue dropped the lease.
+        assert queue.requeue_expired() == []
+        assert queue.get(record.id).requeues == 1
+
+    def test_heartbeat_extends_lease(self, queue, clock):
+        record = queue.submit({})
+        queue.claim("w0")
+        queue.start(record.id)
+        clock.advance(45.0)
+        queue.heartbeat(record.id)
+        clock.advance(45.0)  # 90s since claim, 45s since heartbeat
+        assert queue.requeue_expired() == []
+
+    def test_heartbeat_without_lease_rejected(self, queue):
+        record = queue.submit({})
+        with pytest.raises(JobStateError):
+            queue.heartbeat(record.id)
+
+
+class TestRecovery:
+    def test_interrupted_work_is_requeued(self, queue, tmp_path, clock):
+        leased = queue.submit({"circuit": "a"})
+        clock.advance(1)
+        running = queue.submit({"circuit": "b"})
+        clock.advance(1)
+        done = queue.submit({"circuit": "c"})
+        assert queue.claim("w0").id == leased.id
+        assert queue.claim("w0").id == running.id
+        queue.start(running.id)
+        assert queue.claim("w1").id == done.id
+        queue.start(done.id)
+        queue.complete(done.id, {})
+
+        fresh = JobQueue(tmp_path, clock=clock)
+        report = fresh.recover()
+        assert sorted(report["requeued"]) == sorted([leased.id, running.id])
+        assert report["quarantined"] == [] and report["corrupt"] == []
+        assert fresh.get(leased.id).state == "queued"
+        assert fresh.get(leased.id).requeues == 1
+        assert fresh.get(done.id).state == "done"
+
+    def test_recovery_consumes_budget_to_quarantine(self, tmp_path, clock):
+        queue = JobQueue(tmp_path, max_requeues=0, clock=clock)
+        record = queue.submit({})
+        queue.claim("w0")
+        fresh = JobQueue(tmp_path, max_requeues=0, clock=clock)
+        report = fresh.recover()
+        assert report["quarantined"] == [record.id]
+        assert fresh.get(record.id).state == "quarantined"
+
+    def test_corrupt_record_set_aside(self, queue, tmp_path, clock):
+        record = queue.submit({})
+        path = tmp_path / "jobs" / f"{record.id}.json"
+        path.write_text(path.read_text()[:25])
+        fresh = JobQueue(tmp_path, clock=clock)
+        report = fresh.recover()
+        assert report["corrupt"] == [f"{record.id}.json"]
+        assert (tmp_path / "jobs" / f"{record.id}.json.corrupt").exists()
+        assert fresh.get(record.id) is None
+
+    def test_temp_debris_is_swept_not_quarantined(self, queue, tmp_path,
+                                                  clock):
+        queue.submit({})
+        debris = tmp_path / "jobs" / ".job-abc123.json"
+        debris.write_text("half a reco")
+        fresh = JobQueue(tmp_path, clock=clock)
+        report = fresh.recover()
+        assert report["corrupt"] == []
+        assert not debris.exists()
+
+
+class TestConcurrency:
+    def test_no_job_leased_twice(self, tmp_path):
+        queue = JobQueue(tmp_path, lease_seconds=300.0)
+        ids = [queue.submit({"n": i}).id for i in range(8)]
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def worker(name):
+            while True:
+                record = queue.claim(name)
+                if record is None:
+                    return
+                with lock:
+                    claimed.append(record.id)
+
+        threads = [threading.Thread(target=worker, args=(f"w{i}",))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(ids)  # each job exactly once
+
+
+@st.composite
+def operations(draw):
+    """A random schedule of queue operations for 2 workers."""
+    return draw(st.lists(st.sampled_from(
+        ["submit", "claim0", "claim1", "finish0", "finish1", "crash0",
+         "tick", "expire"]), min_size=1, max_size=40))
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations())
+    def test_accepted_jobs_are_never_lost(self, tmp_path_factory, ops):
+        """Under any schedule: leases are exclusive, requeues are
+        budgeted, and every accepted job is terminal or claimable."""
+        root = tmp_path_factory.mktemp("q")
+        clock = FakeClock()
+        queue = JobQueue(root, lease_seconds=10.0, max_requeues=3,
+                         clock=clock)
+        accepted: list[str] = []
+        holding = {"w0": None, "w1": None}
+
+        for op in ops:
+            if op == "submit":
+                accepted.append(queue.submit({}).id)
+            elif op.startswith("claim"):
+                worker = "w" + op[-1]
+                if holding[worker] is None:
+                    record = queue.claim(worker)
+                    if record is not None:
+                        holding[worker] = record.id
+                        queue.start(record.id)
+            elif op.startswith("finish"):
+                worker = "w" + op[-1]
+                if holding[worker] is not None:
+                    try:
+                        queue.complete(holding[worker], {})
+                    except JobStateError:
+                        pass  # lease expired from under the worker
+                    holding[worker] = None
+            elif op == "crash0":
+                holding["w0"] = None  # worker vanishes mid-job
+            elif op == "tick":
+                clock.advance(3.0)
+            elif op == "expire":
+                clock.advance(11.0)
+                revoked = queue.requeue_expired()
+                # The sweep revokes those leases; model the revocation
+                # so a later re-claim is not mistaken for a double lease.
+                for worker, held in holding.items():
+                    if held in revoked:
+                        holding[worker] = None
+
+            # Invariant: a lease belongs to at most one live worker,
+            # and both workers never hold the same job.
+            if holding["w0"] is not None:
+                assert holding["w0"] != holding["w1"]
+
+        # Drain: expire any orphaned lease, then run both workers until
+        # the queue has nothing claimable left.
+        for worker in holding:
+            holding[worker] = None
+        for _ in range(len(accepted) * (queue.max_requeues + 2) + 1):
+            clock.advance(11.0)
+            queue.requeue_expired()
+            record = queue.claim("w0")
+            if record is None:
+                continue
+            queue.start(record.id)
+            queue.complete(record.id, {})
+        for job_id in accepted:
+            record = queue.get(job_id)
+            assert record is not None, "accepted job vanished"
+            assert record.terminal(), (job_id, record.state)
+        # Journal sanity: at most one done per job, no start after done.
+        done_seen: set[str] = set()
+        for event in read_journal(root):
+            if event["event"] == "done":
+                assert event["job"] not in done_seen
+                done_seen.add(event["job"])
+            elif event["event"] == "start":
+                assert event["job"] not in done_seen
