@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Process-isolation smoke of the retiming service (CI runs this).
+
+The script proves the sandboxed execution mode end-to-end against a
+real ``repro-ser serve --isolation process`` subprocess:
+
+1. serve with per-worker rlimit budgets and an admission memory
+   budget, submit a Table I circuit over HTTP, poll the result;
+2. check digest parity against a clean in-process run of the same spec
+   (crossing a process boundary must not change the answer);
+3. submit an intentionally-OOM job: a fault plan armed at the
+   name-keyed site ``service.worker.job.hog`` grows real memory until
+   the worker's ``RLIMIT_AS`` refuses it.  The job must spend its
+   crash budget into ``quarantined`` with ``oom``-kind evidence while
+   the service itself stays up;
+4. confirm ``/healthz`` reports process isolation with a live pool and
+   ``/metrics`` exposes the resident-memory gauge behind the
+   ``--memory-budget`` shedding path;
+5. SIGTERM: graceful drain, exit 0.
+
+Run:  PYTHONPATH=src python examples/sandbox_smoke.py
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.faultplane.plan import ENV_PLAN, FaultPlan, FaultSpec
+from repro.service.app import read_endpoint
+from repro.service.workers import ExecutionDefaults, execute_job
+
+SCALE = 0.004
+CIRCUIT_SPEC = {"circuit": "s13207", "scale": SCALE, "seed": 0,
+                "frames": 2, "patterns": 64}
+
+#: The intentionally-OOM job: a tiny valid netlist whose *name* keys
+#: the always-fire ``oom`` fault below.  The netlist itself is
+#: harmless -- the runaway allocation is injected, the rlimit is real.
+HOG_NAME = "hog"
+HOG_SPEC = {"netlist": ("INPUT(a)\nOUTPUT(y)\ns1 = DFF(g1)\n"
+                        "g1 = NAND(a, s1)\ny = NOT(s1)\n"),
+            "name": HOG_NAME, "seed": 0, "frames": 2, "patterns": 8}
+
+#: Worker rlimit: comfortably above the interpreter + numpy baseline
+#: (a few hundred MiB) so the real circuit finishes, small enough that
+#: the injected 64 MiB/chunk allocation hog trips it within seconds.
+WORKER_MEMORY_MB = 768
+MAX_CRASHES = 2
+
+
+def serve_argv(root):
+    return [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+            "--port", "0", "--pool", "2", "--scale", str(SCALE),
+            "--lease-seconds", "60", "--isolation", "process",
+            "--worker-memory", str(WORKER_MEMORY_MB),
+            "--worker-wall", "300",
+            "--memory-budget", "4096",
+            "--max-crashes", str(MAX_CRASHES)]
+
+
+def hog_plan():
+    return FaultPlan(seed=0, faults=[
+        FaultSpec(site=f"service.worker.job.{HOG_NAME}", kind="oom",
+                  trigger=1, arms=1, probability=1.0)])
+
+
+def request(endpoint, method, path, body=None):
+    conn = http.client.HTTPConnection(endpoint["host"], endpoint["port"],
+                                      timeout=30)
+    try:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        conn.request(method, path, body=data)
+        response = conn.getresponse()
+        raw = response.read().decode("utf-8", "replace")
+        if response.getheader("Content-Type",
+                              "").startswith("application/json"):
+            raw = json.loads(raw)
+        return response.status, raw
+    finally:
+        conn.close()
+
+
+def submit(endpoint, spec):
+    status, payload = request(endpoint, "POST", "/jobs", body=spec)
+    assert status == 202, (status, payload)
+    return payload["job"]["id"]
+
+
+def wait_state(endpoint, job_id, states, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request(endpoint, "GET", f"/jobs/{job_id}")
+        assert status == 200, (status, payload)
+        record = payload["job"]
+        if record["state"] in states:
+            return record
+        time.sleep(0.3)
+    raise AssertionError(
+        f"job {job_id} did not reach {states} in {timeout}s "
+        f"(last state {record['state']!r})")
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="repro-sandbox-smoke-")
+    print(f"queue directory: {root}")
+
+    print("reference digest (clean in-process run) ...")
+    reference = execute_job(CIRCUIT_SPEC, ExecutionDefaults(scale=SCALE))
+
+    env = dict(os.environ)
+    env[ENV_PLAN] = hog_plan().to_json()
+    proc = subprocess.Popen(serve_argv(root), env=env)
+    try:
+        endpoint = read_endpoint(root, timeout=15.0)
+        print(f"service up on {endpoint['host']}:{endpoint['port']} "
+              f"(process isolation, {WORKER_MEMORY_MB} MiB/worker)")
+
+        status, health = request(endpoint, "GET", "/healthz")
+        assert status == 200 and health["isolation"] == "process", health
+        assert health["workers"]["workers_alive"] >= 1, health
+
+        print("real circuit through the sandbox ...")
+        record = wait_state(endpoint, submit(endpoint, CIRCUIT_SPEC),
+                            states=("done", "failed", "quarantined"))
+        assert record["state"] == "done", record
+        assert record["result"]["digest"] == reference["digest"], (
+            f"sandbox digest {record['result']['digest']} != clean "
+            f"reference {reference['digest']}")
+        print(f"  {record['result']['name']}: done, digest matches "
+              f"reference")
+
+        print("intentionally-OOM job (injected allocation hog) ...")
+        record = wait_state(endpoint, submit(endpoint, HOG_SPEC),
+                            states=("done", "failed", "quarantined"))
+        assert record["state"] == "quarantined", record
+        assert record["crashes"] == MAX_CRASHES, record
+        kinds = [e.get("kind") for e in record["crash_evidence"]]
+        assert kinds and all(kind == "oom" for kind in kinds), kinds
+        print(f"  {HOG_NAME}: quarantined after {record['crashes']} "
+              f"OOM-killed workers, evidence kinds {kinds}")
+
+        # The worker deaths were contained: the pool is still serving.
+        status, health = request(endpoint, "GET", "/healthz")
+        assert status == 200 and health["workers"]["healthy"], health
+        status, metrics = request(endpoint, "GET", "/metrics")
+        assert status == 200
+        assert "repro_service_memory_resident_mb" in metrics, \
+            "resident-memory gauge missing from /metrics"
+        ooms = [line for line in metrics.splitlines()
+                if line.startswith("repro_service_worker_ooms")]
+        assert ooms and float(ooms[0].split()[-1]) >= MAX_CRASHES, ooms
+        print(f"  pool healthy after the carnage; {ooms[0]}")
+
+        print("SIGTERM ...")
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=120.0)
+        assert code == 0, f"graceful drain exited {code}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    print("sandbox smoke OK: parity, quarantine, containment, drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -323,6 +323,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         root=args.root, host=args.host, port=args.port, pool=args.pool,
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
         lease_seconds=args.lease_seconds, max_requeues=args.max_requeues,
+        max_crashes=args.max_crashes, isolation=args.isolation,
+        worker_memory_mb=args.worker_memory,
+        worker_cpu_seconds=args.worker_cpu,
+        worker_wall_seconds=args.worker_wall,
+        memory_budget_mb=args.memory_budget, seed=args.seed,
         scale=args.scale, deadline=args.deadline,
         max_retries=args.max_retries, retry_backoff=args.retry_backoff,
         cache=not args.no_cache, drain_after_idle=args.drain_after_idle,
@@ -574,6 +579,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "the job exactly once")
     p.add_argument("--max-requeues", type=int, default=2,
                    help="crash/expiry requeues before quarantine")
+    p.add_argument("--isolation", choices=("thread", "process"),
+                   default="thread",
+                   help="worker execution mode: in-process threads "
+                        "(default) or one sandboxed subprocess per job "
+                        "(rlimit budgets, wall-clock watchdog, crash "
+                        "containment)")
+    p.add_argument("--max-crashes", type=int, default=3,
+                   help="times a job may kill its worker before it is "
+                        "quarantined as poison (process isolation)")
+    p.add_argument("--worker-memory", type=float, default=None,
+                   metavar="MIB",
+                   help="per-job address-space rlimit for sandboxed "
+                        "workers; leave ~250 MiB headroom for the "
+                        "interpreter baseline")
+    p.add_argument("--worker-cpu", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job CPU rlimit for sandboxed workers")
+    p.add_argument("--worker-wall", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job wall-clock watchdog for sandboxed "
+                        "workers (SIGTERM, then SIGKILL)")
+    p.add_argument("--memory-budget", type=float, default=None,
+                   metavar="MIB",
+                   help="shed new submissions (503 + Retry-After) while "
+                        "the service's resident set exceeds this")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the supervisor's restart-jitter stream")
     p.add_argument("--scale", type=float, default=None,
                    help="default circuit scale for named Table I jobs")
     p.add_argument("--deadline", type=float, default=None,

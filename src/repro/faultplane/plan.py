@@ -22,6 +22,15 @@ Fault kinds and the real failures they model (the taxonomy of
                    :data:`KILL_EXIT_CODE`, no cleanup handlers -- models
                    SIGKILL / power loss for the crash-consistency
                    harness (subprocess runs only)
+``hang``           a call that never returns (stuck native kernel,
+                   lost lock): blocks until the sandbox watchdog
+                   escalates SIGTERM -> SIGKILL (subprocess runs only)
+``oom``            runaway allocation: grows real memory until the
+                   worker's rlimit (or the machine) refuses, surfacing
+                   the resulting ``MemoryError`` (subprocess runs only)
+``segfault``       a native-level crash (``SIGSEGV``), e.g. a bug in a
+                   C extension: the worker dies on the signal with no
+                   Python-level cleanup (subprocess runs only)
 ``torn``           truncate a byte payload (a write torn by a crash)
 ``garbage``        overwrite the tail of a byte payload with random
                    bytes (a corrupted sector / hand-edited file)
@@ -166,6 +175,26 @@ class FaultPlan:
             raise FaultPlanError(f"fault plan is not valid JSON: {exc}") \
                 from exc
         return cls.from_dict(data)
+
+
+def derive_job_plan(plan: FaultPlan, job_name: str,
+                    attempt: int) -> FaultPlan:
+    """The plan a sandboxed worker subprocess runs under.
+
+    Every sandbox child starts with fresh injector state, so a plan
+    installed verbatim from the environment would replay the *same*
+    first probability draw in every child -- a probabilistic worker
+    fault would then fire for either every job attempt or none,
+    livelocking the worker kill-loop.  Mixing a CRC of the job identity
+    and the attempt number into the seed decorrelates the draws while
+    keeping the whole fault sequence a pure function of
+    ``(base seed, job name, attempt)`` -- chaos failures stay
+    replayable.
+    """
+    import zlib
+
+    tag = zlib.crc32(f"{job_name}#{attempt}".encode("utf-8"))
+    return FaultPlan(seed=plan.seed ^ tag, faults=list(plan.faults))
 
 
 def derive_shard_plan(plan: FaultPlan, shard_index: int) -> FaultPlan:
@@ -324,6 +353,32 @@ class FaultInjector:
             # then die without cleanup -- SIGKILL/power-loss semantics.
             self.flush_stats()
             os._exit(KILL_EXIT_CODE)
+        if spec.kind == "hang":
+            # A call that never returns.  Only meaningful inside a
+            # sandboxed worker whose watchdog escalates SIGTERM ->
+            # SIGKILL; the sleep loop keeps the GIL released so the
+            # process stays signalable.
+            self.flush_stats()
+            import time as _time
+
+            while True:  # pragma: no cover - killed by the watchdog
+                _time.sleep(3600.0)
+        if spec.kind == "oom":
+            # Real allocation pressure, not a synthetic raise: grow
+            # until the worker rlimit (or Python itself) refuses, then
+            # surface the genuine MemoryError.  64 MiB chunks reach a
+            # few-hundred-MiB rlimit in a handful of iterations.
+            self.flush_stats()
+            hog: list[bytearray] = []
+            while True:
+                hog.append(bytearray(64 * 1024 * 1024))
+        if spec.kind == "segfault":
+            # Die on the signal itself -- no Python cleanup, exactly
+            # like a crashing native kernel.
+            self.flush_stats()
+            import signal as _signal
+
+            _signal.raise_signal(_signal.SIGSEGV)
         raise FaultPlanError(f"unrealizable fault kind {spec.kind!r}")
 
     # ------------------------------------------------------------------
@@ -353,13 +408,13 @@ class FaultInjector:
             pass  # stats are advisory; never break the run over them
 
 
-def install_from_env(environ: Any = None):
-    """Install a :class:`FaultInjector` from ``REPRO_FAULT_PLAN``.
+def load_plan_from_env(environ: Any = None) -> FaultPlan | None:
+    """Read and validate the ``REPRO_FAULT_PLAN`` plan, or ``None``.
 
     The variable holds either inline plan JSON (starts with ``{``) or a
-    path to a plan file.  Returns the installed injector, or ``None``
-    when the variable is unset.  ``REPRO_FAULT_STATS``, when set, names
-    the JSONL file injection events are appended to.
+    path to a plan file.  Callers that need to transform the plan
+    before installing it (the sandbox worker decorrelates the seed per
+    job attempt) use this instead of :func:`install_from_env`.
     """
     if environ is None:
         environ = os.environ
@@ -378,6 +433,21 @@ def install_from_env(environ: Any = None):
     from .sites import check_plan
 
     check_plan(plan)
+    return plan
+
+
+def install_from_env(environ: Any = None):
+    """Install a :class:`FaultInjector` from ``REPRO_FAULT_PLAN``.
+
+    Returns the installed injector, or ``None`` when the variable is
+    unset.  ``REPRO_FAULT_STATS``, when set, names the JSONL file
+    injection events are appended to.
+    """
+    if environ is None:
+        environ = os.environ
+    plan = load_plan_from_env(environ)
+    if plan is None:
+        return None
     injector = FaultInjector(plan, stats_path=environ.get(ENV_STATS))
     hooks.install(injector)
     return injector

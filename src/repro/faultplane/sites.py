@@ -34,7 +34,15 @@ real failures at that layer.
 | ``service.accept``        | service | job admission (POST /jobs)       |
 | ``service.lease``         | service | a worker is claiming a job       |
 | ``service.persist``       | service | a job record write begins        |
+| ``service.worker.execute``| service | sandboxed worker starts its job  |
+| ``service.worker.job.*``  | service | name-keyed family (poison jobs)  |
 +---------------------------+---------+----------------------------------+
+
+``service.worker.job.*`` is a *family* entry: the sandboxed worker
+visits the concrete site ``service.worker.job.<job name>``, and a plan
+spec naming one concrete member validates against the family -- which is
+how the worker kill-loop arms a single poison job without touching the
+rest of the queue.
 """
 
 from __future__ import annotations
@@ -45,7 +53,13 @@ from fnmatch import fnmatchcase
 from ..errors import FaultPlanError
 
 #: Fault kinds realized by :meth:`FaultInjector.visit` (they raise or kill).
-VISIT_KINDS = ("transient", "deadline", "memory", "oserror", "kill")
+#: ``hang``/``oom``/``segfault`` model worker-process pathologies -- a
+#: native call that never returns, runaway allocation that slams into an
+#: rlimit, a hard crash inside a numeric kernel -- and are only sensible
+#: inside a sandboxed worker subprocess under a watchdog (see
+#: :mod:`repro.service.sandbox`).
+VISIT_KINDS = ("transient", "deadline", "memory", "oserror", "kill",
+               "hang", "oom", "segfault")
 #: Fault kinds realized by the ``filter_*`` hooks (they corrupt data).
 FILTER_KINDS = ("torn", "garbage", "corrupt-labels")
 #: Every known fault kind.
@@ -121,12 +135,31 @@ SITES: dict[str, Site] = dict((
           "a worker is about to lease the next queued job"),
     _site("service.persist", "service", ("oserror", "kill"),
           "a durable job-record write is about to begin"),
+    # Worker-process sites fire *inside* a sandboxed worker subprocess
+    # (``--isolation process``): the pathological kinds take down only
+    # that worker, the supervisor restarts it, and the crash-count
+    # budget quarantines a job that keeps killing its workers.
+    _site("service.worker.execute", "service",
+          ("transient", "hang", "oom", "segfault", "kill"),
+          "a sandboxed worker subprocess is about to execute its job"),
+    _site("service.worker.job.*", "service", ("hang", "oom", "segfault"),
+          "name-keyed family: the sandboxed worker visits "
+          "service.worker.job.<job name>, so a plan can target one "
+          "poison job while the rest of the queue stays healthy"),
 ))
 
 
 def match_sites(pattern: str) -> list[str]:
-    """Catalog sites matching a name or ``fnmatch`` glob, sorted."""
-    return sorted(name for name in SITES if fnmatchcase(name, pattern))
+    """Catalog sites matching a name or ``fnmatch`` glob, sorted.
+
+    Matching is two-way so *family* entries work: a catalog name that is
+    itself a glob (``service.worker.job.*``) is matched by any concrete
+    member (``service.worker.job.poison``), and an ordinary glob pattern
+    still matches family names textually (``service.*`` covers them).
+    """
+    return sorted(name for name in SITES
+                  if fnmatchcase(name, pattern)
+                  or fnmatchcase(pattern, name))
 
 
 def sites_for_kind(kind: str) -> list[str]:

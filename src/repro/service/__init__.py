@@ -8,28 +8,44 @@ a warm shared analysis cache, and every job state transition is durably
 persisted *before* it is acknowledged -- killing the service at any
 point loses no accepted job and completes none twice.
 
+Two isolation modes.  ``thread`` (default) runs jobs on the worker
+threads themselves -- fastest, one warm in-memory cache.  ``process``
+hands each job to a sandboxed subprocess (:mod:`repro.service.sandbox`)
+with ``resource.setrlimit`` memory/CPU budgets and a wall-clock
+watchdog, so a job that segfaults, hangs or eats memory kills *its
+subprocess*, not the service; a job that does it repeatedly is
+quarantined as poison with the crash evidence attached.  The
+:mod:`repro.service.supervisor` owns worker lifecycle either way:
+dead workers restart with seeded backoff behind a circuit breaker.
+
 Layering (each module imports only downward)::
 
     app.py        service wiring: config, signals, drain, monitor loop
       api.py      HTTP front end (stdlib http.server, threading)
+      supervisor.py  self-healing: restart dead workers, circuit breaker
       workers.py  worker pool: claim -> run -> complete
-        admission.py   validation, queue bound, per-tenant token buckets
+        sandbox.py     process isolation: rlimits, watchdog, classify
+        admission.py   validation, queue/memory bounds, token buckets
         queue.py       durable FIFO job queue + execution journal
           jobs.py      job records: states, transitions, atomic persist
 
-The chaos companion :mod:`repro.service.killloop` restarts the service
-under ``kill`` fault plans and proves the exactly-once-completion and
-digest-parity claims.  See ``docs/service.md``.
+The chaos companion :mod:`repro.service.killloop` kills the service --
+or, in worker-kill mode, individual sandboxed workers -- under fault
+plans and proves the exactly-once-completion and digest-parity claims.
+See ``docs/service.md``.
 """
 
-from .admission import AdmissionController, TokenBucket
+from .admission import AdmissionController, TokenBucket, resident_memory_mb
 from .jobs import (JOB_STATES, TERMINAL_STATES, JobRecord, job_result_digest,
                    load_job, save_job)
 from .queue import JobQueue, read_journal
+from .sandbox import SandboxLimits, SandboxOutcome, run_sandboxed
+from .supervisor import Supervisor
 
 __all__ = [
     "AdmissionController",
     "TokenBucket",
+    "resident_memory_mb",
     "JOB_STATES",
     "TERMINAL_STATES",
     "JobRecord",
@@ -38,4 +54,8 @@ __all__ = [
     "save_job",
     "JobQueue",
     "read_journal",
+    "SandboxLimits",
+    "SandboxOutcome",
+    "run_sandboxed",
+    "Supervisor",
 ]

@@ -12,6 +12,13 @@ Rate limiting is per tenant via classic token buckets: ``rate`` tokens
 per second refill up to a ``burst`` cap, one token per submission.  The
 bucket map is LRU-bounded so an open service cannot be grown without
 bound by invented tenant names.
+
+Memory-aware load shedding: with a ``memory_budget_mb`` configured, a
+submission that arrives while the service's resident set already
+exceeds the budget gets an honest 503 + ``Retry-After`` instead of an
+admission that would only deepen the pressure.  The probe reads
+``/proc/self/status`` (``VmRSS``) and degrades to "no shedding" on
+platforms without procfs -- a missing probe must never reject traffic.
 """
 
 from __future__ import annotations
@@ -44,6 +51,28 @@ _ALLOWED_FIELDS = ("circuit", "netlist", "name", "tenant", "scale", "seed",
                    "maximal_start", "restart")
 
 _ALGORITHMS = ("minobs", "minobswin")
+
+#: Retry-After hint handed out with a memory-pressure 503, in seconds.
+#: Long enough for a worker to finish and release its footprint, short
+#: enough that a dumb retry loop converges once pressure clears.
+MEMORY_SHED_RETRY_AFTER = 5.0
+
+
+def resident_memory_mb() -> float | None:
+    """This process's resident set size in MiB, or ``None`` off-Linux.
+
+    Reads ``VmRSS`` from ``/proc/self/status`` -- no psutil dependency,
+    one small read per admission.  Returning ``None`` (no procfs, torn
+    read) disables shedding rather than guessing.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
 
 
 class TokenBucket:
@@ -201,12 +230,32 @@ class AdmissionController:
 
     def __init__(self, *, queue_limit: int = 64, rate: float = 10.0,
                  burst: float = 20.0,
+                 memory_budget_mb: float | None = None,
+                 memory_probe: Callable[[], float | None]
+                 = resident_memory_mb,
                  clock: Callable[[], float] = time.monotonic):
         self.queue_limit = int(queue_limit)
         self.rate = float(rate)
         self.burst = float(burst)
+        self.memory_budget_mb = None if memory_budget_mb is None \
+            else float(memory_budget_mb)
+        self.memory_probe = memory_probe
         self.clock = clock
         self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def memory_pressure(self) -> tuple[bool, float | None]:
+        """``(over_budget, resident_mb)`` under the configured budget.
+
+        Always ``(False, resident)`` when no budget is set or the probe
+        has nothing to say.
+        """
+        if self.memory_budget_mb is None:
+            return False, None
+        resident = self.memory_probe()
+        if resident is None:
+            return False, None
+        REGISTRY.gauge("service.memory.resident_mb").set(resident)
+        return resident > self.memory_budget_mb, resident
 
     def bucket(self, tenant: str) -> TokenBucket:
         bucket = self._buckets.get(tenant)
@@ -223,8 +272,11 @@ class AdmissionController:
         """Admit one submission or raise :class:`AdmissionError`.
 
         Check order: the tenant and payload shape first (a 400 beats a
-        429 -- a malformed request is never "retryable later"), then the
-        queue bound, then the tenant's token bucket.  The
+        429 -- a malformed request is never "retryable later"), then
+        memory pressure, then the queue bound, then the tenant's token
+        bucket.  Memory shedding outranks the queue bound because an
+        over-budget process must reject even when the queue has room --
+        the budget protects the *host*, not the queue.  The
         ``service.accept`` fault site fires before any state is touched:
         an injected fault surfaces as a 5xx and the client simply never
         got its 202 -- nothing to lose.
@@ -232,6 +284,13 @@ class AdmissionController:
         fault_point("service.accept", depth=queue_depth)
         tenant = validate_tenant(payload)
         spec = validate_payload(payload)
+        over_budget, resident = self.memory_pressure()
+        if over_budget:
+            REGISTRY.counter("service.jobs.shed_memory").inc()
+            raise _reject(
+                f"service is under memory pressure ({resident:.0f} MiB "
+                f"resident, budget {self.memory_budget_mb:.0f} MiB)",
+                status=503, retry_after=MEMORY_SHED_RETRY_AFTER)
         if queue_depth >= self.queue_limit:
             raise _reject(
                 f"queue full ({queue_depth} jobs in flight, limit "

@@ -6,9 +6,16 @@ A :class:`~http.server.ThreadingHTTPServer` (daemon threads) serves::
     GET  /jobs              queue summary           -> 200
     GET  /jobs/<id>         job record              -> 200 / 404
     GET  /jobs/<id>/result  terminal result         -> 200 / 409 / 404
-    GET  /healthz           liveness                -> 200 (always)
+    GET  /healthz           liveness + worker facts -> 200 (always)
     GET  /readyz            readiness               -> 200 / 503
     GET  /metrics           Prometheus text         -> 200
+
+``/healthz`` answers "is the process up" and carries the worker-pool
+liveness snapshot (workers alive, heartbeat age, supervisor breaker
+state) purely as diagnostics; ``/readyz`` is the routing verdict and
+goes 503 -- with ``Retry-After``, like every other shedding response --
+while draining, while the worker pool is dead or churning (supervisor
+breaker open), or while the queue is full.
 
 Every error is a structured JSON body ``{"error": {"status", "message",
 "field"?, "retry_after"?}}`` -- admission rejections arrive as
@@ -97,8 +104,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"ok": True,
-                                  "draining": self.service.draining})
+            self._send_json(200, self.service.health_payload())
             return
         if path == "/readyz":
             ready, why = self.service.readiness()

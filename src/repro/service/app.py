@@ -38,6 +38,8 @@ from .admission import AdmissionController
 from .api import build_server
 from .jobs import JobRecord
 from .queue import JobQueue
+from .sandbox import SandboxLimits
+from .supervisor import Supervisor
 from .workers import ExecutionDefaults, WorkerPool
 
 ENDPOINT_NAME = "service.json"
@@ -61,6 +63,25 @@ class ServiceConfig:
     burst: float = 20.0
     lease_seconds: float = 60.0
     max_requeues: int = 2
+    #: Worker-crash budget: a job that kills its (sandboxed) worker this
+    #: many times is quarantined as poison.
+    max_crashes: int = 3
+    #: ``thread`` (default: in-process workers, fastest, shared warm
+    #: cache) or ``process`` (one subprocess per job: rlimit budgets,
+    #: wall-clock watchdog, crash containment).
+    isolation: str = "thread"
+    #: Per-job sandbox budgets (process isolation only).  The memory
+    #: rlimit must leave headroom for the interpreter + numpy/scipy
+    #: baseline (~250 MiB); ``None`` leaves the corresponding resource
+    #: unlimited.
+    worker_memory_mb: float | None = None
+    worker_cpu_seconds: float | None = None
+    worker_wall_seconds: float | None = None
+    #: Shed new submissions (503 + Retry-After) while the service's
+    #: resident set exceeds this many MiB; ``None`` disables shedding.
+    memory_budget_mb: float | None = None
+    #: Seeds the supervisor's restart-jitter stream.
+    seed: int = 0
     #: Default experiment knobs jobs inherit when their spec is silent.
     scale: float = DEFAULT_SCALE
     deadline: float | None = None
@@ -85,16 +106,25 @@ class RetimingService:
         os.makedirs(config.root, exist_ok=True)
         self.queue = JobQueue(config.root,
                               lease_seconds=config.lease_seconds,
-                              max_requeues=config.max_requeues)
+                              max_requeues=config.max_requeues,
+                              max_crashes=config.max_crashes)
         self.admission = AdmissionController(
             queue_limit=config.queue_limit, rate=config.rate,
-            burst=config.burst)
+            burst=config.burst,
+            memory_budget_mb=config.memory_budget_mb)
         self.defaults = ExecutionDefaults(
             scale=config.scale, deadline=config.deadline,
             max_retries=config.max_retries,
             retry_backoff=config.retry_backoff)
-        self.pool = WorkerPool(self.queue, self.defaults,
-                               pool_size=config.pool)
+        limits = SandboxLimits(memory_mb=config.worker_memory_mb,
+                               cpu_seconds=config.worker_cpu_seconds,
+                               wall_seconds=config.worker_wall_seconds)
+        self.pool = WorkerPool(
+            self.queue, self.defaults, pool_size=config.pool,
+            isolation=config.isolation, limits=limits,
+            cache_dir=os.path.join(config.root, "cache")
+            if config.cache else None)
+        self.supervisor = Supervisor(self.pool, seed=config.seed)
         self.draining = False
         self._drain_requested = threading.Event()
         self._monitor: threading.Thread | None = None
@@ -117,15 +147,46 @@ class RetimingService:
     def readiness(self) -> tuple[bool, str]:
         if self.draining:
             return False, "service is draining"
+        if not self.supervisor.healthy():
+            breaker = self.supervisor.breaker_state()
+            if breaker == "open":
+                return False, ("worker pool is churning (supervisor "
+                               "circuit breaker open)")
+            return False, (f"worker pool is unhealthy "
+                           f"({self.pool.alive_workers()}/"
+                           f"{self.pool.pool_size} workers alive, "
+                           f"heartbeat "
+                           f"{'alive' if self.pool.heartbeat_alive() else 'dead'})")
         if self.queue.depth() >= self.config.queue_limit:
             return False, "queue is full"
         return True, ""
+
+    def health_payload(self) -> dict[str, Any]:
+        """The ``/healthz`` body: liveness facts, no verdict.
+
+        ``/healthz`` answers "is the process up" (always 200 while the
+        HTTP thread runs); the worker/heartbeat/breaker detail lets an
+        operator see *why* ``/readyz`` went 503 without shell access.
+        """
+        return {"ok": True, "draining": self.draining,
+                "isolation": self.config.isolation,
+                "workers": self.supervisor.state()}
 
     def metrics_text(self) -> str:
         counts = self.queue.counts()
         for state, count in counts.items():
             REGISTRY.gauge(f"service.queue.{state}").set(count)
         REGISTRY.gauge("service.workers.busy").set(self.pool.busy())
+        REGISTRY.gauge("service.workers.alive").set(
+            self.pool.alive_workers())
+        REGISTRY.gauge("service.heartbeat.alive").set(
+            1.0 if self.pool.heartbeat_alive() else 0.0)
+        beat_age = self.pool.last_beat_age()
+        if beat_age is not None:
+            REGISTRY.gauge("service.heartbeat.age_seconds").set(beat_age)
+        REGISTRY.gauge("service.supervisor.breaker_open").set(
+            1.0 if self.supervisor.breaker_state() == "open" else 0.0)
+        self.admission.memory_pressure()  # refreshes the resident gauge
         REGISTRY.gauge("service.draining").set(1.0 if self.draining else 0.0)
         return REGISTRY.to_prometheus()
 
@@ -188,7 +249,8 @@ class RetimingService:
         host, port = self.server.server_address[:2]
         self._write_endpoint(str(host), int(port))
         self.log(f"listening on {host}:{port} "
-                 f"(pool={config.pool}, root={config.root})")
+                 f"(pool={config.pool}, isolation={config.isolation}, "
+                 f"root={config.root})")
 
         # Registered from the main thread only (signal module contract);
         # both signals mean the same thing here: finish what you hold,
@@ -201,6 +263,7 @@ class RetimingService:
                         signal.Signals(s).name))
 
         self.pool.start()
+        self.supervisor.start()
         self._monitor = threading.Thread(target=self._monitor_loop,
                                          name="monitor", daemon=True)
         self._monitor.start()
@@ -210,6 +273,9 @@ class RetimingService:
 
         self._drain_requested.wait()
         self.draining = True
+        # The supervisor stops first: a drain's worker exits are
+        # deliberate, not casualties to restart.
+        self.supervisor.stop()
         clean = self.pool.drain(config.drain_timeout)
         if not clean:
             self.log("drain timeout: released in-flight leases")

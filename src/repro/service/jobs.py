@@ -104,6 +104,19 @@ class JobRecord:
         release is *not* a requeue and does not consume budget).
     max_requeues:
         Requeue budget; exhausting it quarantines the job.
+    crashes:
+        Times this job killed the worker executing it (a sandboxed
+        worker subprocess that segfaulted, blew its memory rlimit or
+        hung past the watchdog).  A separate budget from ``requeues``
+        so the quarantine verdict names the real culprit: poison input,
+        not flaky infrastructure.
+    max_crashes:
+        Crash budget; a job that kills its worker this many times is
+        quarantined as poison with the evidence attached.
+    crash_evidence:
+        The most recent crash reports (bounded list of dicts: fault
+        kind, exit code / signal, stderr tail, elapsed seconds), kept
+        so a quarantined poison job carries its own post-mortem.
     lease:
         ``{"worker": str, "expires_at": float}`` while leased/running,
         else ``None``.
@@ -125,6 +138,9 @@ class JobRecord:
     attempts: int = 0
     requeues: int = 0
     max_requeues: int = 2
+    crashes: int = 0
+    max_crashes: int = 3
+    crash_evidence: list[dict[str, Any]] = field(default_factory=list)
     lease: dict[str, Any] | None = None
     result: dict[str, Any] | None = None
     error: dict[str, Any] | None = None
@@ -163,6 +179,9 @@ class JobRecord:
             "attempts": int(self.attempts),
             "requeues": int(self.requeues),
             "max_requeues": int(self.max_requeues),
+            "crashes": int(self.crashes),
+            "max_crashes": int(self.max_crashes),
+            "crash_evidence": [dict(e) for e in self.crash_evidence],
             "lease": self.lease, "result": self.result, "error": self.error,
         }
 
@@ -177,6 +196,10 @@ class JobRecord:
                 attempts=int(data.get("attempts", 0)),
                 requeues=int(data.get("requeues", 0)),
                 max_requeues=int(data.get("max_requeues", 2)),
+                crashes=int(data.get("crashes", 0)),
+                max_crashes=int(data.get("max_crashes", 3)),
+                crash_evidence=[dict(e) for e in
+                                data.get("crash_evidence", [])],
                 lease=data.get("lease"), result=data.get("result"),
                 error=data.get("error"))
         except (KeyError, TypeError, ValueError) as exc:

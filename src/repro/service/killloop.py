@@ -27,10 +27,23 @@ Verification after the drain:
   cache), i.e. crash recovery plus the warm shared cache changed
   *nothing* about the answer.
 
+**Worker-kill mode** (``--mode worker``) turns the gun on individual
+workers instead of the server: the service runs once, in process
+isolation, while ``segfault`` faults at ``service.worker.execute``
+SIGSEGV the sandboxed worker subprocesses mid-job.  The service itself
+must survive every one of those deaths, classify them, and converge --
+plus one deliberately **poison** job (an inline netlist named
+``poison``, armed with an always-fire fault at the name-keyed site
+``service.worker.job.poison``) that kills its worker on every attempt
+and must land in ``quarantined`` with crash evidence after exactly its
+crash budget, while the unrelated jobs complete with clean digests.
+
 Run it directly (CI does, across several seeds)::
 
     PYTHONPATH=src python -m repro.service.killloop \\
         --circuits s13207 s15850.1 --scale 0.004 --seeds 0 1 2
+    PYTHONPATH=src python -m repro.service.killloop --mode worker \\
+        --circuits s27 s208.1 --seeds 0 1
 """
 
 from __future__ import annotations
@@ -54,15 +67,28 @@ from .workers import ExecutionDefaults, execute_job
 LAUNCH_TIMEOUT = 600.0
 
 
+#: The poison job's inline netlist (tiny but valid) and canonical name
+#: -- the name keys the always-fire fault site
+#: ``service.worker.job.poison``.
+POISON_NAME = "poison"
+POISON_NETLIST = ("INPUT(a)\nOUTPUT(y)\ns1 = DFF(g1)\n"
+                  "g1 = NAND(a, s1)\ny = NOT(s1)\n")
+
+
 @dataclass
 class KillLoopResult:
     """Scorecard of one seeded kill-loop run."""
 
     seed: int
+    mode: str = "server"
     launches: int = 0
     kills: int = 0
     jobs: int = 0
     requeues: int = 0
+    #: Worker-kill mode: total worker-process deaths absorbed and jobs
+    #: that ended ``quarantined`` (the poison job, and only it).
+    worker_crashes: int = 0
+    quarantined: int = 0
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -70,9 +96,12 @@ class KillLoopResult:
         return not self.violations
 
     def to_dict(self) -> dict[str, Any]:
-        return {"seed": self.seed, "launches": self.launches,
+        return {"seed": self.seed, "mode": self.mode,
+                "launches": self.launches,
                 "kills": self.kills, "jobs": self.jobs,
-                "requeues": self.requeues, "ok": self.ok,
+                "requeues": self.requeues,
+                "worker_crashes": self.worker_crashes,
+                "quarantined": self.quarantined, "ok": self.ok,
                 "violations": list(self.violations)}
 
 
@@ -86,9 +115,11 @@ def job_specs(circuits: list[str], scale: float, frames: int,
 
 
 def seed_queue(root: str, specs: list[dict[str, Any]],
-               max_requeues: int) -> dict[str, dict[str, Any]]:
+               max_requeues: int,
+               max_crashes: int = 3) -> dict[str, dict[str, Any]]:
     """Offline-enqueue the jobs; returns ``{job id: spec}``."""
-    queue = JobQueue(root, max_requeues=max_requeues)
+    queue = JobQueue(root, max_requeues=max_requeues,
+                     max_crashes=max_crashes)
     return {queue.submit(spec).id: spec for spec in specs}
 
 
@@ -123,17 +154,45 @@ def kill_plan(seed: int, kill_prob: float, trigger: int) -> FaultPlan:
                   arms=1, probability=kill_prob)])
 
 
+def worker_plan(seed: int, crash_prob: float) -> FaultPlan:
+    """SIGSEGVs sandboxed workers; always kills the poison job's worker.
+
+    Each sandbox child reinstalls this plan with a per-(job, attempt)
+    derived seed (:func:`~repro.faultplane.plan.derive_job_plan`), so
+    the ``service.worker.execute`` fault fires independently per
+    attempt -- a job that crashed once is not doomed to crash forever.
+    The poison fault needs no such decorrelation: probability 1.0 fires
+    under every seed, which is the point.
+    """
+    return FaultPlan(seed=seed, faults=[
+        FaultSpec(site="service.worker.execute", kind="segfault",
+                  trigger=1, arms=1, probability=crash_prob),
+        FaultSpec(site=f"service.worker.job.{POISON_NAME}",
+                  kind="segfault", trigger=1, arms=1, probability=1.0)])
+
+
 def serve_argv(root: str, *, pool: int, scale: float,
-               max_requeues: int) -> list[str]:
-    return [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+               max_requeues: int, isolation: str = "thread",
+               max_crashes: int | None = None) -> list[str]:
+    argv = [sys.executable, "-m", "repro.cli", "serve", "--root", root,
             "--port", "0", "--pool", str(pool), "--scale", str(scale),
             "--max-requeues", str(max_requeues), "--lease-seconds", "30",
-            "--drain-after-idle", "--idle-grace", "1.0"]
+            "--drain-after-idle", "--idle-grace", "1.0",
+            "--isolation", isolation]
+    if max_crashes is not None:
+        argv += ["--max-crashes", str(max_crashes)]
+    return argv
 
 
 def verify(root: str, seeded: dict[str, dict[str, Any]],
-           references: dict[str, str], result: KillLoopResult) -> None:
+           references: dict[str, str], result: KillLoopResult,
+           poison_ids: frozenset[str] = frozenset()) -> None:
     """Check the three invariants; appends violations to ``result``.
+
+    Jobs in ``poison_ids`` invert the success criterion: they must end
+    ``quarantined`` with their crash budget spent and crash evidence
+    attached -- a poison job that *completed* (or requeued forever)
+    is the violation.
 
     Reads the job records straight off disk (no
     :meth:`~repro.service.queue.JobQueue.recover`): the verifier must
@@ -164,6 +223,24 @@ def verify(root: str, seeded: dict[str, dict[str, Any]],
             result.violations.append(f"job {job_id} was lost")
             continue
         result.requeues += record.requeues
+        result.worker_crashes += record.crashes
+        if record.state == "quarantined":
+            result.quarantined += 1
+        if job_id in poison_ids:
+            if record.state != "quarantined":
+                result.violations.append(
+                    f"poison job {job_id} ended {record.state!r}, "
+                    f"expected quarantined")
+            elif record.crashes < record.max_crashes:
+                result.violations.append(
+                    f"poison job {job_id} quarantined after only "
+                    f"{record.crashes} crashes (budget "
+                    f"{record.max_crashes})")
+            elif not record.crash_evidence:
+                result.violations.append(
+                    f"poison job {job_id} quarantined without crash "
+                    f"evidence")
+            continue
         if record.state != "done":
             result.violations.append(
                 f"job {job_id} ({spec.get('circuit')}) ended "
@@ -246,9 +323,80 @@ def run_kill_loop(root: str, circuits: list[str], *, seed: int = 0,
     return result
 
 
+def run_worker_kill_loop(root: str, circuits: list[str], *, seed: int = 0,
+                         scale: float = 0.004, frames: int = 2,
+                         patterns: int = 64, pool: int = 2,
+                         crash_prob: float = 0.35,
+                         max_requeues: int = 100,
+                         max_crashes: int = 100,
+                         poison_budget: int = 3,
+                         verbose: bool = False) -> KillLoopResult:
+    """One seeded worker-kill run: one launch, many worker deaths.
+
+    The service runs *once* in process isolation; injected ``segfault``
+    faults SIGSEGV its sandboxed worker subprocesses, never the server.
+    Legitimate jobs carry an effectively unlimited crash budget
+    (``max_crashes``) -- every crash here is induced, so quarantining a
+    legitimate job for surviving them would fail the run for doing its
+    job -- while the seeded poison job carries the *production* budget
+    (``poison_budget``) and must spend it and land in ``quarantined``.
+    """
+    result = KillLoopResult(seed=seed, mode="worker")
+    os.makedirs(root, exist_ok=True)
+    specs = job_specs(circuits, scale, frames, patterns, seed)
+    seeded = seed_queue(root, specs, max_requeues,
+                        max_crashes=max_crashes)
+    poison_spec = {"netlist": POISON_NETLIST, "name": POISON_NAME,
+                   "frames": frames, "patterns": min(patterns, 8),
+                   "seed": seed}
+    poison_queue = JobQueue(root, max_requeues=max_requeues,
+                            max_crashes=poison_budget)
+    poison_id = poison_queue.submit(poison_spec).id
+    seeded[poison_id] = poison_spec
+    result.jobs = len(seeded)
+    references = reference_digests(specs, scale)
+
+    argv = serve_argv(root, pool=pool, scale=scale,
+                      max_requeues=max_requeues, isolation="process",
+                      max_crashes=max_crashes)
+    env = dict(os.environ)
+    env[ENV_PLAN] = worker_plan(seed, crash_prob).to_json()
+    if verbose:
+        print(f"[killloop seed={seed} mode=worker] single launch",
+              file=sys.stderr, flush=True)
+    result.launches = 1
+    proc = subprocess.run(argv, env=env, timeout=LAUNCH_TIMEOUT,
+                          capture_output=not verbose)
+    if proc.returncode != 0:
+        # Worker deaths must never take the server with them; any
+        # non-zero exit here -- including an injected-kill code -- is
+        # exactly the containment failure this mode exists to catch.
+        stderr = b"" if verbose else proc.stderr
+        result.violations.append(
+            f"service exited {proc.returncode} (worker faults must not "
+            f"kill the server): {stderr.decode()[-400:]}")
+        return result
+
+    verify(root, seeded, references, result,
+           poison_ids=frozenset({poison_id}))
+    result.kills = result.worker_crashes
+    if result.worker_crashes < poison_budget:
+        result.violations.append(
+            f"only {result.worker_crashes} worker crashes recorded; the "
+            f"poison job alone should have caused {poison_budget}")
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="service kill-loop chaos harness")
+    parser.add_argument("--mode", choices=("server", "worker"),
+                        default="server",
+                        help="server: SIGKILL the whole service at "
+                             "persist points across restarts; worker: "
+                             "one launch in process isolation, SIGSEGV "
+                             "individual sandboxed workers + a poison "
+                             "job that must be quarantined")
     parser.add_argument("--circuits", nargs="+",
                         default=["s13207", "s15850.1"])
     parser.add_argument("--seeds", nargs="+", type=int, default=[0])
@@ -257,6 +405,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--patterns", type=int, default=64)
     parser.add_argument("--pool", type=int, default=2)
     parser.add_argument("--kill-prob", type=float, default=0.35)
+    parser.add_argument("--crash-prob", type=float, default=0.35,
+                        help="worker mode: per-attempt probability a "
+                             "sandboxed worker is SIGSEGVed")
+    parser.add_argument("--poison-budget", type=int, default=3,
+                        help="worker mode: the poison job's crash "
+                             "budget (quarantined after this many)")
     parser.add_argument("--max-launches", type=int, default=40)
     parser.add_argument("--workdir", default=None,
                         help="parent of the per-seed queue dirs "
@@ -276,17 +430,31 @@ def main(argv: list[str] | None = None) -> int:
     cards = []
     for seed in args.seeds:
         started = time.monotonic()
-        card = run_kill_loop(
-            os.path.join(workdir, f"seed-{seed}"), args.circuits,
-            seed=seed, scale=args.scale, frames=args.frames,
-            patterns=args.patterns, pool=args.pool,
-            kill_prob=args.kill_prob, max_launches=args.max_launches,
-            verbose=args.verbose)
+        if args.mode == "worker":
+            card = run_worker_kill_loop(
+                os.path.join(workdir, f"seed-{seed}"), args.circuits,
+                seed=seed, scale=args.scale, frames=args.frames,
+                patterns=args.patterns, pool=args.pool,
+                crash_prob=args.crash_prob,
+                poison_budget=args.poison_budget,
+                verbose=args.verbose)
+        else:
+            card = run_kill_loop(
+                os.path.join(workdir, f"seed-{seed}"), args.circuits,
+                seed=seed, scale=args.scale, frames=args.frames,
+                patterns=args.patterns, pool=args.pool,
+                kill_prob=args.kill_prob,
+                max_launches=args.max_launches,
+                verbose=args.verbose)
         cards.append(card)
         status = "ok" if card.ok else "FAIL"
-        print(f"seed {seed}: {status}  launches={card.launches} "
-              f"kills={card.kills} requeues={card.requeues} "
-              f"jobs={card.jobs} ({time.monotonic() - started:.1f}s)")
+        extra = (f" worker_crashes={card.worker_crashes} "
+                 f"quarantined={card.quarantined}"
+                 if card.mode == "worker" else "")
+        print(f"seed {seed} [{card.mode}]: {status}  "
+              f"launches={card.launches} kills={card.kills} "
+              f"requeues={card.requeues} jobs={card.jobs}{extra} "
+              f"({time.monotonic() - started:.1f}s)")
         for violation in card.violations:
             print(f"  violation: {violation}", file=sys.stderr)
     if args.json:

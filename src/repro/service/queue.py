@@ -86,12 +86,14 @@ class JobQueue:
 
     def __init__(self, root: str | os.PathLike[str], *,
                  lease_seconds: float = 60.0, max_requeues: int = 2,
+                 max_crashes: int = 3,
                  clock: Callable[[], float] = time.time):
         self.root = os.fspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.journal_path = os.path.join(self.root, JOURNAL_NAME)
         self.lease_seconds = float(lease_seconds)
         self.max_requeues = int(max_requeues)
+        self.max_crashes = int(max_crashes)
         self.clock = clock
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
@@ -179,7 +181,8 @@ class JobQueue:
             now = self.clock()
             record = JobRecord(id=new_job_id(), tenant=tenant, spec=spec,
                                submitted_at=now, updated_at=now,
-                               max_requeues=self.max_requeues)
+                               max_requeues=self.max_requeues,
+                               max_crashes=self.max_crashes)
             self._persist(record)
             self._jobs[record.id] = record
             REGISTRY.counter("service.jobs.accepted").inc()
@@ -262,6 +265,53 @@ class JobQueue:
         """Budgeted requeue after an infrastructure failure."""
         with self._lock:
             return self._requeue_locked(self._require(job_id), reason)
+
+    def record_crash(self, job_id: str,
+                     evidence: dict[str, Any]) -> JobRecord:
+        """A worker died executing this job; requeue or quarantine.
+
+        Poison-job detection: worker deaths (a sandboxed subprocess
+        that segfaulted, blew its memory rlimit, or hung past the
+        watchdog) consume the *crash* budget, not the requeue budget --
+        flaky infrastructure and poison input are different diagnoses
+        and must exhaust different budgets, so a quarantine verdict
+        names the right one.  ``evidence`` (fault kind, exit status,
+        stderr tail, elapsed seconds) is kept on the record, bounded to
+        the last ``max_crashes`` reports, so a quarantined job carries
+        its own post-mortem.
+        """
+        with self._lock:
+            record = self._require(job_id)
+            with self._rollback_on_failure(record):
+                record.crashes += 1
+                record.crash_evidence = (
+                    record.crash_evidence + [dict(evidence)]
+                )[-max(1, record.max_crashes):]
+                record.lease = None
+                if record.crashes >= record.max_crashes:
+                    record.transition("quarantined")
+                    record.error = {
+                        "message": f"job killed its worker "
+                                   f"{record.crashes} times (budget "
+                                   f"{record.max_crashes}); quarantined "
+                                   f"as poison",
+                        "crashes": record.crashes,
+                        "evidence": [dict(e) for e in
+                                     record.crash_evidence]}
+                    self._persist(record)
+                    REGISTRY.counter("service.jobs.quarantined").inc()
+                    REGISTRY.counter("service.jobs.poisoned").inc()
+                    self._journal("quarantine", record,
+                                  reason="crash-budget",
+                                  crashes=record.crashes)
+                    return record
+                record.transition("queued")
+                self._persist(record)
+            self._journal(
+                "requeue", record,
+                reason=f"worker-crash:{evidence.get('kind', 'crash')}")
+            REGISTRY.counter("service.jobs.crash_requeued").inc()
+            return record
 
     def release(self, job_id: str) -> JobRecord:
         """Un-lease a job at graceful drain -- back to ``queued``

@@ -1,0 +1,270 @@
+"""The self-healing supervisor: worker lifecycle ownership.
+
+The :class:`~repro.service.workers.WorkerPool` executes jobs; the
+supervisor keeps the pool *alive*.  One daemon thread sweeps on a fixed
+interval and, each sweep:
+
+1. detects worker threads that died (an escaped exception, an injected
+   ``kill`` fault that only took down a thread) and heartbeat-thread
+   death, via the pool's liveness accessors;
+2. restarts each casualty after a seeded, jittered exponential-backoff
+   delay (reusing :func:`~repro.runtime.executor.backoff_delay` -- the
+   same decorrelated-retry policy the pipeline uses, so a fixed seed
+   fixes the whole restart schedule);
+3. trips a **circuit breaker** when restarts churn: more than
+   ``breaker_threshold`` restarts inside ``breaker_window`` seconds
+   opens the breaker, which suspends restarts for
+   ``breaker_cooldown`` seconds, then goes *half-open* -- one
+   probationary restart is allowed; if the revived worker survives a
+   full sweep the breaker closes, if it dies again the breaker re-opens.
+
+The breaker is the honesty mechanism: a pool whose workers die as fast
+as they are revived is not healthy, and pretending otherwise by
+restarting in a hot loop just burns CPU and hides the pathology.  An
+open breaker is surfaced through :meth:`Supervisor.healthy` (wired into
+``/readyz``, so load balancers stop routing) and through the
+``service.supervisor.*`` metrics on ``/metrics``.
+
+Worker deaths never lose jobs regardless of what the supervisor does:
+a dead worker's in-flight job is lease-recovered by the queue monitor,
+and in process-isolation mode the job outcome was already classified by
+the sandbox before the thread could die.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ..runtime.executor import backoff_delay, backoff_rng
+from ..telemetry.metrics import REGISTRY
+from .workers import WorkerPool
+
+#: Breaker states, in escalation order.
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class Supervisor:
+    """Detect dead workers, restart with backoff, break the circuit.
+
+    Parameters
+    ----------
+    pool:
+        The worker pool whose lifecycle this supervisor owns.
+    seed:
+        Seeds the restart-jitter RNG; a fixed seed reproduces the exact
+        restart schedule (chaos runs replay deterministically).
+    check_interval:
+        Seconds between liveness sweeps.
+    base_backoff:
+        Base delay of the per-worker exponential backoff.  Attempt ``n``
+        waits ``~base * 2**n`` (jittered, capped) before the restart.
+    breaker_threshold / breaker_window:
+        Open the breaker after more than ``breaker_threshold`` restarts
+        within a rolling ``breaker_window`` seconds.
+    breaker_cooldown:
+        Seconds an open breaker suspends restarts before going
+        half-open.
+    """
+
+    def __init__(self, pool: WorkerPool, *, seed: int = 0,
+                 check_interval: float = 0.25,
+                 base_backoff: float = 0.05,
+                 breaker_threshold: int = 5,
+                 breaker_window: float = 30.0,
+                 breaker_cooldown: float = 5.0):
+        self.pool = pool
+        self.seed = int(seed)
+        self.check_interval = float(check_interval)
+        self.base_backoff = float(base_backoff)
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_window = float(breaker_window)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._restart_counts: dict[str, int] = {}  # consecutive, per worker
+        self._restart_times: list[float] = []      # rolling window, breaker
+        self._restarts_total = 0
+        self._breaker = "closed"
+        self._breaker_opened_at: float | None = None
+        self._probation: str | None = None  # worker revived under half-open
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run,
+                                        name="supervisor", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Observation (read by /healthz, /readyz and /metrics)
+    # ------------------------------------------------------------------
+    def breaker_state(self) -> str:
+        with self._lock:
+            return self._breaker
+
+    def restarts(self) -> int:
+        with self._lock:
+            return self._restarts_total
+
+    def healthy(self) -> bool:
+        """True when the pool can make progress *and* is not churning.
+
+        An open breaker is unhealthy by definition: the supervisor has
+        judged that restarts are not sticking.  Half-open counts as
+        healthy-enough -- a probe is in flight and the pool has live
+        workers to show for it.
+        """
+        if self.breaker_state() == "open":
+            return False
+        return self.pool.alive_workers() > 0 and self.pool.heartbeat_alive()
+
+    def state(self) -> dict[str, Any]:
+        """One structured snapshot for the health endpoints."""
+        with self._lock:
+            snapshot = {
+                "breaker": self._breaker,
+                "restarts": self._restarts_total,
+                "restart_counts": dict(self._restart_counts),
+            }
+        snapshot.update(self.pool.liveness())
+        snapshot["healthy"] = self.healthy()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # The sweep loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.check_interval):
+            try:
+                self.sweep()
+            except Exception:
+                # The supervisor is the last line of defence; it must
+                # never die to an exception it was built to absorb.
+                REGISTRY.counter("service.supervisor.errors").inc()
+
+    def sweep(self, now: float | None = None) -> list[str]:
+        """One liveness pass; returns the workers restarted.
+
+        Public and time-injectable so tests drive the breaker state
+        machine deterministically without real sleeps.
+        """
+        now = time.monotonic() if now is None else now
+        self._settle_breaker(now)
+        restarted: list[str] = []
+
+        dead = self.pool.dead_workers()
+        heartbeat_dead = not self.pool.heartbeat_alive() \
+            and not self._stop.is_set()
+        if not dead and not heartbeat_dead:
+            self._mark_stable()
+            return restarted
+
+        if self.breaker_state() == "open":
+            return restarted  # cooling down; restarts suspended
+
+        for name in dead:
+            if not self._restart_allowed(name):
+                break  # breaker just tripped mid-sweep
+            self._backoff_sleep(name)
+            if self.pool.restart_worker(name):
+                restarted.append(name)
+                self._note_restart(name, now)
+        if heartbeat_dead and self._restart_allowed("heartbeat"):
+            self._backoff_sleep("heartbeat")
+            self.pool.restart_heartbeat()
+            restarted.append("heartbeat")
+            self._note_restart("heartbeat", now)
+        return restarted
+
+    # ------------------------------------------------------------------
+    # Breaker mechanics
+    # ------------------------------------------------------------------
+    def _settle_breaker(self, now: float) -> None:
+        with self._lock:
+            if (self._breaker == "open"
+                    and self._breaker_opened_at is not None
+                    and now - self._breaker_opened_at
+                    >= self.breaker_cooldown):
+                self._breaker = "half-open"
+                self._probation = None
+                REGISTRY.counter("service.supervisor.breaker.half_open").inc()
+
+    def _mark_stable(self) -> None:
+        """A sweep with zero casualties: close a half-open breaker."""
+        with self._lock:
+            if self._breaker == "half-open" and self._probation is not None:
+                self._breaker = "closed"
+                self._probation = None
+                self._restart_times.clear()
+                self._restart_counts.clear()
+                REGISTRY.counter("service.supervisor.breaker.closed").inc()
+            self._refresh_gauges()
+
+    def _restart_allowed(self, name: str) -> bool:
+        with self._lock:
+            if self._breaker == "open":
+                return False
+            if self._breaker == "half-open":
+                if self._probation is not None:
+                    # The probe died before a stable sweep: re-open.
+                    self._open_breaker(time.monotonic())
+                    return False
+                return True
+            return True
+
+    def _note_restart(self, name: str, now: float) -> None:
+        REGISTRY.counter("service.supervisor.restarts").inc()
+        with self._lock:
+            self._restarts_total += 1
+            self._restart_counts[name] = \
+                self._restart_counts.get(name, 0) + 1
+            if self._breaker == "half-open":
+                self._probation = name
+                self._refresh_gauges()
+                return
+            cutoff = now - self.breaker_window
+            self._restart_times = [t for t in self._restart_times
+                                   if t > cutoff]
+            self._restart_times.append(now)
+            if len(self._restart_times) > self.breaker_threshold:
+                self._open_breaker(now)
+            self._refresh_gauges()
+
+    def _open_breaker(self, now: float) -> None:
+        # Caller holds self._lock.
+        self._breaker = "open"
+        self._breaker_opened_at = now
+        self._probation = None
+        REGISTRY.counter("service.supervisor.breaker.opened").inc()
+
+    def _refresh_gauges(self) -> None:
+        # Caller holds self._lock.
+        REGISTRY.gauge("service.supervisor.breaker_open").set(
+            1.0 if self._breaker == "open" else 0.0)
+        REGISTRY.gauge("service.workers.alive").set(
+            float(self.pool.alive_workers()))
+
+    # ------------------------------------------------------------------
+    # Backoff
+    # ------------------------------------------------------------------
+    def _backoff_sleep(self, name: str) -> None:
+        """Jittered exponential pause before reviving ``name``."""
+        with self._lock:
+            attempt = self._restart_counts.get(name, 0)
+        rng = backoff_rng(self.seed, "supervisor", name)
+        # Replay the stream to the current attempt so the nth restart
+        # draws the nth jitter value even across supervisor sweeps.
+        for _ in range(attempt):
+            rng.random()
+        delay = backoff_delay(self.base_backoff, attempt, rng)
+        if delay > 0.0:
+            self._stop.wait(delay)

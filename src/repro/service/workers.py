@@ -1,12 +1,25 @@
-"""The worker pool: claim -> start -> execute -> complete, in threads.
+"""The worker pool: claim -> start -> execute -> complete.
 
-Workers are *threads*, not processes: one shared warm analysis cache
-(:mod:`repro.cache` plus the suite's observability memo) is the whole
-point of a resident service -- a resubmitted circuit reuses the
-expensive simulation results instead of recomputing them.  The numeric
-kernels release work to numpy, so thread workers overlap usefully
-despite the GIL; crash isolation comes from the durable queue, not from
-process boundaries.
+Two isolation modes, selected by ``WorkerPool(isolation=...)``:
+
+``thread`` (default)
+    The job executes inline in the claiming thread.  One shared warm
+    analysis cache (:mod:`repro.cache` plus the suite's observability
+    memo) is the whole point of a resident service -- a resubmitted
+    circuit reuses the expensive simulation results instead of
+    recomputing them.  The numeric kernels release work to numpy, so
+    thread workers overlap usefully despite the GIL; crash isolation
+    comes from the durable queue, not from process boundaries.
+
+``process``
+    The claiming thread hands the job to a fresh subprocess
+    (:mod:`repro.service.sandbox`) under memory/CPU rlimits and a
+    wall-clock watchdog, then routes the classified outcome.  A
+    pathological job (hang, OOM, native crash) kills only its own
+    worker process; the claiming thread survives, records the crash on
+    the job (:meth:`~repro.service.queue.JobQueue.record_crash` -- the
+    poison-job budget), and moves on.  The child shares the *disk*
+    cache tier, so warm-cache reuse survives isolation.
 
 Failure routing (the heart of the never-lose-a-job claim):
 
@@ -98,38 +111,63 @@ def execute_job(spec: dict[str, Any],
             "digest": job_result_digest(name, record)}
 
 
+#: Crash-outcome kind -> worker-death counter metric.
+_CRASH_METRICS = {"crash": "service.worker.crashes",
+                  "oom": "service.worker.ooms",
+                  "timeout": "service.worker.timeouts"}
+
+
 class WorkerPool:
-    """N claim-execute threads plus one lease-heartbeat thread."""
+    """N claim-execute threads plus one lease-heartbeat thread.
+
+    Worker and heartbeat threads are individually *restartable*
+    (:meth:`restart_worker`, :meth:`restart_heartbeat`): a thread that
+    dies unexpectedly is reported by :meth:`dead_workers` /
+    :meth:`heartbeat_alive` and revived by the supervisor
+    (:mod:`repro.service.supervisor`) -- the pool itself never
+    silently shrinks.
+    """
 
     def __init__(self, queue: JobQueue, defaults: ExecutionDefaults, *,
                  pool_size: int = 2, poll_interval: float = 0.2,
-                 heartbeat_interval: float | None = None):
+                 heartbeat_interval: float | None = None,
+                 isolation: str = "thread",
+                 limits: "SandboxLimits | None" = None,
+                 cache_dir: str | None = None):
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"isolation must be 'thread' or 'process', "
+                f"got {isolation!r}")
         self.queue = queue
         self.defaults = defaults
         self.pool_size = max(1, int(pool_size))
         self.poll_interval = float(poll_interval)
+        self.isolation = isolation
+        self.limits = limits
+        self.cache_dir = cache_dir
         # A third of the lease keeps two missed beats from expiring it.
         self.heartbeat_interval = heartbeat_interval if \
             heartbeat_interval is not None else queue.lease_seconds / 3.0
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._threads: dict[str, threading.Thread] = {}
         self._heartbeat: threading.Thread | None = None
         self._current: dict[str, str] = {}  # worker name -> job id
         self._current_lock = threading.Lock()
+        self._last_beat: float | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         for index in range(self.pool_size):
-            name = f"worker-{index}"
-            thread = threading.Thread(target=self._run, args=(name,),
-                                      name=name, daemon=True)
-            self._threads.append(thread)
-            thread.start()
-        self._heartbeat = threading.Thread(target=self._beat,
-                                           name="heartbeat", daemon=True)
-        self._heartbeat.start()
+            self._spawn_worker(f"worker-{index}")
+        self.restart_heartbeat()
+
+    def _spawn_worker(self, name: str) -> None:
+        thread = threading.Thread(target=self._run, args=(name,),
+                                  name=name, daemon=True)
+        self._threads[name] = thread
+        thread.start()
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Stop claiming, wait for in-flight jobs, release stragglers.
@@ -144,7 +182,7 @@ class WorkerPool:
         self._stop.set()
         deadline = time.monotonic() + max(0.0, timeout)
         clean = True
-        for thread in self._threads:
+        for thread in self._threads.values():
             thread.join(max(0.0, deadline - time.monotonic()))
             clean = clean and not thread.is_alive()
         if self._heartbeat is not None:
@@ -163,6 +201,59 @@ class WorkerPool:
     def busy(self) -> int:
         with self._current_lock:
             return len(self._current)
+
+    # ------------------------------------------------------------------
+    # Liveness (read by the supervisor and the health endpoints)
+    # ------------------------------------------------------------------
+    def alive_workers(self) -> int:
+        return sum(1 for t in self._threads.values() if t.is_alive())
+
+    def dead_workers(self) -> list[str]:
+        """Names of worker threads that died without being drained."""
+        if self._stop.is_set():
+            return []
+        return sorted(name for name, t in self._threads.items()
+                      if not t.is_alive())
+
+    def restart_worker(self, name: str) -> bool:
+        """Replace a dead worker thread; no-op while draining."""
+        if self._stop.is_set():
+            return False
+        thread = self._threads.get(name)
+        if thread is not None and thread.is_alive():
+            return False
+        with self._current_lock:
+            self._current.pop(name, None)  # its job is lease-recovered
+        self._spawn_worker(name)
+        return True
+
+    def heartbeat_alive(self) -> bool:
+        return self._heartbeat is not None and self._heartbeat.is_alive()
+
+    def restart_heartbeat(self) -> None:
+        if self._stop.is_set() or self.heartbeat_alive():
+            return
+        self._heartbeat = threading.Thread(target=self._beat,
+                                           name="heartbeat", daemon=True)
+        self._heartbeat.start()
+
+    def last_beat_age(self) -> float | None:
+        """Seconds since the heartbeat loop last completed a sweep, or
+        ``None`` before the first one."""
+        if self._last_beat is None:
+            return None
+        return max(0.0, time.monotonic() - self._last_beat)
+
+    def liveness(self) -> dict[str, Any]:
+        """One structured snapshot for ``/healthz`` and ``/metrics``."""
+        return {
+            "pool_size": self.pool_size,
+            "workers_alive": self.alive_workers(),
+            "heartbeat_alive": self.heartbeat_alive(),
+            "last_beat_age": self.last_beat_age(),
+            "busy": self.busy(),
+            "isolation": self.isolation,
+        }
 
     # ------------------------------------------------------------------
     # Threads
@@ -195,15 +286,11 @@ class WorkerPool:
 
     def _execute(self, job_id: str, spec: dict[str, Any]) -> None:
         try:
-            self.queue.start(job_id)
-            result = execute_job(spec, self.defaults)
-            if result["status"].startswith("failed:"):
-                self.queue.fail(job_id, {
-                    "message": f"pipeline gave up ({result['status']})",
-                    "name": result["name"], "record": result["record"],
-                    "digest": result["digest"]})
+            record = self.queue.start(job_id)
+            if self.isolation == "process":
+                self._execute_sandboxed(job_id, record.attempts, spec)
             else:
-                self.queue.complete(job_id, result)
+                self._finish(job_id, execute_job(spec, self.defaults))
         except JobStateError:
             pass  # lost a drain/expiry race; the queue's outcome stands
         except Exception as exc:
@@ -214,10 +301,64 @@ class WorkerPool:
             except Exception:
                 pass  # still leased; lease expiry will requeue it
 
+    def _finish(self, job_id: str, result: dict[str, Any]) -> None:
+        """Route a produced result payload to its terminal state."""
+        if result["status"].startswith("failed:"):
+            self.queue.fail(job_id, {
+                "message": f"pipeline gave up ({result['status']})",
+                "name": result["name"], "record": result["record"],
+                "digest": result["digest"]})
+        else:
+            self.queue.complete(job_id, result)
+
+    def _execute_sandboxed(self, job_id: str, attempt: int,
+                           spec: dict[str, Any]) -> None:
+        """Process-isolation path: spawn, classify, route.
+
+        Raises nothing sandbox-specific -- a worker-process death comes
+        back as a classified outcome and feeds the job's crash budget;
+        only queue transitions can raise (handled by :meth:`_execute`).
+        """
+        from .sandbox import run_sandboxed
+
+        outcome = run_sandboxed(spec, self.defaults, job_id=job_id,
+                                attempt=attempt, limits=self.limits,
+                                cache_dir=self.cache_dir)
+        if outcome.kind == "result":
+            self._finish(job_id, outcome.result)
+        elif outcome.kind == "error":
+            error = outcome.error or {}
+            REGISTRY.counter("service.jobs.errors").inc()
+            self.queue.requeue(
+                job_id, reason=f"{error.get('type', 'Error')}: "
+                               f"{error.get('message', '')}")
+        else:  # crash / oom / timeout: the worker process died
+            REGISTRY.counter(_CRASH_METRICS.get(
+                outcome.kind, "service.worker.crashes")).inc()
+            self.queue.record_crash(job_id, outcome.evidence)
+
     def _beat(self) -> None:
+        """Extend the leases of in-flight jobs, forever.
+
+        Self-healing by construction: *nothing* a beat can hit is
+        allowed to end the loop.  A job that finished between the
+        snapshot and the beat raises :class:`JobStateError` -- routine,
+        not even counted.  A persist refusal (disk error, injected
+        fault) is counted (``service.heartbeat.errors``) and the loop
+        keeps beating -- one failed sweep must cost one interval, never
+        every running job's lease.
+        """
         while not self._stop.wait(self.heartbeat_interval):
-            for job_id in self.in_flight():
-                try:
-                    self.queue.heartbeat(job_id)
-                except Exception:
-                    pass  # job finished or persist refused; never fatal
+            try:
+                for job_id in self.in_flight():
+                    try:
+                        self.queue.heartbeat(job_id)
+                    except JobStateError:
+                        pass  # job reached a terminal state; routine
+                    except Exception:
+                        REGISTRY.counter("service.heartbeat.errors").inc()
+            except Exception:
+                # Belt and braces: even a failure *enumerating* the
+                # in-flight set must not kill the heartbeat thread.
+                REGISTRY.counter("service.heartbeat.errors").inc()
+            self._last_beat = time.monotonic()

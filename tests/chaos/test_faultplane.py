@@ -111,6 +111,37 @@ class TestSiteCatalog:
     def test_check_plan_accepts_valid(self):
         check_plan(FaultPlan(faults=[spec(site="solve.*")]))
 
+    def test_family_site_validates_concrete_members(self):
+        """The catalog's glob-*named* family entry accepts plans that
+        target one concrete member -- how a plan poisons one job by
+        name without arming every job's site."""
+        check_plan(FaultPlan(faults=[
+            spec(site="service.worker.job.poison", kind="segfault")]))
+        names = match_sites("service.worker.job.anything")
+        assert "service.worker.job.*" in names
+
+    def test_worker_pathology_kinds_are_subprocess_only(self):
+        """hang/oom/segfault exist only at worker sites: they destroy
+        the visiting process and are meaningless as in-process
+        exceptions."""
+        for kind in ("hang", "oom", "segfault"):
+            for name in sites_for_kind(kind):
+                assert name.startswith("service.worker"), (kind, name)
+
+
+class TestDerivedJobPlans:
+    def test_seed_decorrelates_by_job_and_attempt(self):
+        from repro.faultplane.plan import derive_job_plan
+
+        base = FaultPlan(seed=7, faults=[spec(site="solve.*")])
+        seeds = {derive_job_plan(base, name, attempt).seed
+                 for name in ("a", "b") for attempt in (1, 2)}
+        assert len(seeds) == 4
+        # Same (job, attempt) -> same plan: replays stay deterministic.
+        assert derive_job_plan(base, "a", 1).seed == \
+            derive_job_plan(base, "a", 1).seed
+        assert derive_job_plan(base, "a", 1).faults == base.faults
+
 
 class TestInjectorFiring:
     def test_trigger_on_nth_call(self):

@@ -143,3 +143,23 @@ class TestKillLoop:
             frames=2, patterns=64, pool=2, kill_prob=0.5)
         assert result.ok, result.violations
         assert result.kills >= 1  # the harness actually killed something
+
+
+@heavy
+class TestWorkerKillLoop:
+    def test_worker_deaths_are_contained_and_poison_quarantined(
+            self, tmp_path):
+        """Process isolation under fire: SIGSEGVed workers never take
+        the server down or lose a job, and the poison job spends its
+        crash budget into quarantine while its neighbors finish with
+        clean digests."""
+        from repro.service.killloop import run_worker_kill_loop
+
+        result = run_worker_kill_loop(
+            str(tmp_path / "q"), ["s13207"], seed=0, scale=0.004,
+            frames=2, patterns=64, pool=2, crash_prob=0.5,
+            poison_budget=3)
+        assert result.ok, result.violations
+        assert result.launches == 1  # the server itself never died
+        assert result.quarantined == 1
+        assert result.worker_crashes >= 3

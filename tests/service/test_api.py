@@ -179,6 +179,81 @@ class TestHealthAndMetrics:
         assert accepted["job"]["id"] in listed
 
 
+class TestShedding:
+    """Every path that sheds load must carry Retry-After -- a dumb
+    retry loop pointed at any rejection converges without parsing."""
+
+    def assert_shed(self, endpoint, expect_status, expect_fragment):
+        status, headers, payload = request(endpoint, "POST", "/jobs",
+                                           body=JOB)
+        assert status == expect_status, payload
+        assert float(headers["Retry-After"]) > 0
+        assert payload["error"]["retry_after"] > 0
+        assert expect_fragment in payload["error"]["message"]
+
+    def test_rate_limit_429_carries_retry_after(self, tmp_path):
+        with running_service(tmp_path, pool=0, rate=0.5,
+                             burst=1.0) as (svc, endpoint):
+            assert request(endpoint, "POST", "/jobs", body=JOB)[0] == 202
+            self.assert_shed(endpoint, 429, "rate limit")
+
+    def test_full_queue_429_carries_retry_after(self, tmp_path):
+        with running_service(tmp_path, pool=0,
+                             queue_limit=1) as (svc, endpoint):
+            assert request(endpoint, "POST", "/jobs", body=JOB)[0] == 202
+            self.assert_shed(endpoint, 429, "queue full")
+
+    def test_drain_503_carries_retry_after(self, tmp_path):
+        with running_service(tmp_path) as (svc, endpoint):
+            svc.draining = True
+            self.assert_shed(endpoint, 503, "draining")
+            status, headers, _ = request(endpoint, "GET", "/readyz")
+            assert status == 503 and "Retry-After" in headers
+
+    def test_memory_pressure_503_carries_retry_after(self, tmp_path):
+        # A 1 MiB budget is always exceeded by a live interpreter, so
+        # the shed path is deterministic without faking the probe.
+        with running_service(tmp_path, pool=0,
+                             memory_budget_mb=1.0) as (svc, endpoint):
+            self.assert_shed(endpoint, 503, "memory pressure")
+            # Shedding is honest about *which* resource: the message
+            # names the resident size and the budget.
+            status, _, payload = request(endpoint, "POST", "/jobs",
+                                         body=JOB)
+            assert "MiB" in payload["error"]["message"]
+
+
+class TestWorkerLiveness:
+    def test_healthz_reports_worker_and_heartbeat_liveness(self, service):
+        _, endpoint = service
+        status, _, payload = request(endpoint, "GET", "/healthz")
+        assert status == 200
+        workers = payload["workers"]
+        assert workers["workers_alive"] >= 1
+        assert workers["heartbeat_alive"] is True
+        assert workers["breaker"] == "closed"
+        assert workers["healthy"] is True
+        assert payload["isolation"] == "thread"
+
+    def test_readyz_503_when_breaker_open(self, service):
+        svc, endpoint = service
+        svc.supervisor._breaker = "open"
+        try:
+            status, headers, payload = request(endpoint, "GET", "/readyz")
+            assert status == 503 and "Retry-After" in headers
+            assert "breaker" in payload["error"]["message"]
+        finally:
+            svc.supervisor._breaker = "closed"
+
+    def test_metrics_expose_liveness_gauges(self, service):
+        _, endpoint = service
+        status, _, text = request(endpoint, "GET", "/metrics")
+        assert status == 200
+        assert "repro_service_workers_alive" in text
+        assert "repro_service_heartbeat_alive" in text
+        assert "repro_service_supervisor_breaker_open" in text
+
+
 class TestDrain:
     def test_drain_leaves_no_leases_and_rejects_submits(self, tmp_path):
         with running_service(tmp_path) as (svc, endpoint):

@@ -1,0 +1,101 @@
+"""Crash budget and poison quarantine at the queue/record layer.
+
+Worker crashes consume a *separate* budget from requeues: flaky
+infrastructure and poison input are different diagnoses, and a
+quarantine verdict must name the right one.
+"""
+
+from repro.service.jobs import JobRecord
+from repro.service.queue import JobQueue, read_journal
+
+EVIDENCE = {"kind": "crash", "signal": "SIGSEGV", "exit_code": -11,
+            "elapsed": 0.4, "stderr_tail": ""}
+
+
+def running_job(queue):
+    record = queue.submit({"circuit": "s13207"})
+    queue.claim("w0")
+    queue.start(record.id)
+    return record
+
+
+class TestRecordCrash:
+    def test_crash_below_budget_requeues_with_evidence(self, tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=3)
+        record = running_job(queue)
+        after = queue.record_crash(record.id, EVIDENCE)
+        assert after.state == "queued"
+        assert after.crashes == 1
+        assert after.lease is None
+        assert after.crash_evidence == [EVIDENCE]
+        # The crash consumed no *requeue* budget.
+        assert after.requeues == 0
+
+    def test_budget_exhaustion_quarantines_with_post_mortem(self,
+                                                            tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=2)
+        record = running_job(queue)
+        outcome = queue.record_crash(record.id, dict(EVIDENCE, attempt=1))
+        assert outcome.state == "queued"
+        queue.claim("w0")
+        queue.start(record.id)
+        outcome = queue.record_crash(record.id, dict(EVIDENCE, attempt=2))
+        assert outcome.state == "quarantined"
+        assert outcome.crashes == 2
+        assert len(outcome.crash_evidence) == 2
+        assert "poison" in outcome.error["message"]
+        assert outcome.error["evidence"]
+
+    def test_evidence_is_bounded_to_budget(self, tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=2)
+        record = running_job(queue)
+        queue.record_crash(record.id, dict(EVIDENCE, attempt=1))
+        queue.claim("w0")
+        queue.start(record.id)
+        final = queue.record_crash(record.id, dict(EVIDENCE, attempt=2))
+        assert len(final.crash_evidence) <= final.max_crashes
+
+    def test_crash_survives_reload(self, tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=3)
+        record = running_job(queue)
+        queue.record_crash(record.id, EVIDENCE)
+        # A fresh queue (fresh process) reads the same budget state.
+        recovered = JobQueue(tmp_path, max_crashes=3)
+        recovered.recover()
+        reloaded = recovered.get(record.id)
+        assert reloaded.crashes == 1
+        assert reloaded.crash_evidence == [EVIDENCE]
+
+    def test_journal_narrates_crash_requeue_and_quarantine(self,
+                                                           tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=2)
+        record = running_job(queue)
+        queue.record_crash(record.id, EVIDENCE)
+        queue.claim("w0")
+        queue.start(record.id)
+        queue.record_crash(record.id, EVIDENCE)
+        events = [(e["event"], e.get("reason")) for e in
+                  read_journal(tmp_path) if e.get("job") == record.id]
+        assert ("requeue", "worker-crash:crash") in events
+        assert ("quarantine", "crash-budget") in events
+
+
+class TestRecordCompat:
+    def test_old_records_without_crash_fields_load(self):
+        """Records persisted before the crash budget existed (same
+        JOB_VERSION) must round-trip with sane defaults."""
+        old = JobRecord(id="j-old").to_dict()
+        for key in ("crashes", "max_crashes", "crash_evidence"):
+            del old[key]
+        record = JobRecord.from_dict(old)
+        assert record.crashes == 0
+        assert record.max_crashes == 3
+        assert record.crash_evidence == []
+
+    def test_crash_fields_round_trip(self):
+        record = JobRecord(id="j-x", crashes=2, max_crashes=5,
+                           crash_evidence=[EVIDENCE])
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone.crashes == 2
+        assert clone.max_crashes == 5
+        assert clone.crash_evidence == [EVIDENCE]

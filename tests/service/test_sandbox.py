@@ -1,0 +1,110 @@
+"""Sandbox tests: process isolation classifies every way a job can die.
+
+Each test spawns at most one real worker subprocess (a fresh
+interpreter, ~a second); the pathological ones (hang, OOM, segfault)
+are induced with injected ``service.worker.*`` faults carried to the
+child via the fault-plan environment variable.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faultplane.plan import ENV_PLAN, FaultPlan, FaultSpec
+from repro.service.sandbox import (OOM_EXIT_CODE, SandboxLimits,
+                                   SandboxOutcome, job_display_name,
+                                   run_sandboxed)
+from repro.service.workers import ExecutionDefaults, execute_job
+
+TINY_BENCH = ("INPUT(a)\nOUTPUT(y)\ns1 = DFF(g1)\n"
+              "g1 = NAND(a, s1)\ny = NOT(s1)\n")
+TINY_SPEC = {"netlist": TINY_BENCH, "name": "tiny", "seed": 3,
+             "frames": 2, "patterns": 8}
+
+
+def plan_env(monkeypatch, site, kind, probability=1.0):
+    plan = FaultPlan(seed=0, faults=[
+        FaultSpec(site=site, kind=kind, trigger=1, arms=1,
+                  probability=probability)])
+    monkeypatch.setenv(ENV_PLAN, plan.to_json())
+
+
+class TestLimits:
+    def test_roundtrip(self):
+        limits = SandboxLimits(memory_mb=512.0, cpu_seconds=30.0,
+                               wall_seconds=60.0)
+        assert SandboxLimits.from_dict(limits.to_dict()) == limits
+        assert SandboxLimits.from_dict({}) == SandboxLimits()
+
+    def test_display_name(self):
+        assert job_display_name({"circuit": "s13207"}) == "s13207"
+        assert job_display_name(TINY_SPEC) == "tiny"
+
+
+class TestOutcomes:
+    def test_result_parity_with_in_process_execution(self):
+        """The sandbox changes *where* a job runs, never its answer."""
+        outcome = run_sandboxed(TINY_SPEC, ExecutionDefaults(),
+                                job_id="j-par", attempt=1)
+        assert outcome.kind == "result", outcome.evidence
+        reference = execute_job(TINY_SPEC, ExecutionDefaults())
+        assert outcome.result["digest"] == reference["digest"]
+        assert outcome.result["name"] == "tiny"
+
+    def test_child_exception_is_error_not_crash(self):
+        """A job that *raises* is a classified error: exit 0, payload
+        handed back -- clearly distinct from a worker death."""
+        outcome = run_sandboxed({"circuit": "no-such-circuit"},
+                                ExecutionDefaults(), job_id="j-err",
+                                attempt=1)
+        assert outcome.kind == "error"
+        assert outcome.error["type"]
+        assert not outcome.evidence
+
+    def test_segfault_is_crash_with_evidence(self, monkeypatch):
+        plan_env(monkeypatch, "service.worker.execute", "segfault")
+        outcome = run_sandboxed(TINY_SPEC, ExecutionDefaults(),
+                                job_id="j-seg", attempt=1)
+        assert outcome.kind == "crash"
+        assert outcome.evidence["signal"] == "SIGSEGV"
+        assert outcome.evidence["job"] == "j-seg"
+        assert outcome.evidence["attempt"] == 1
+
+    def test_hang_is_timeout_after_watchdog(self, monkeypatch):
+        plan_env(monkeypatch, "service.worker.execute", "hang")
+        outcome = run_sandboxed(
+            TINY_SPEC, ExecutionDefaults(), job_id="j-hang", attempt=1,
+            limits=SandboxLimits(wall_seconds=2.0))
+        assert outcome.kind == "timeout"
+        assert outcome.evidence["elapsed"] >= 2.0
+
+    def test_oom_is_classified_under_memory_rlimit(self, monkeypatch):
+        """With an address-space rlimit the injected allocation loop
+        hits a genuine MemoryError, which the child reports as OOM.
+
+        The limit leaves ~80 MiB of job headroom over the interpreter +
+        numpy baseline (~250 MiB), so a healthy job fits but the hog
+        cannot."""
+        plan_env(monkeypatch, "service.worker.execute", "oom")
+        outcome = run_sandboxed(
+            TINY_SPEC, ExecutionDefaults(), job_id="j-oom", attempt=1,
+            limits=SandboxLimits(memory_mb=384.0))
+        assert outcome.kind == "oom"
+        assert outcome.evidence["exit_code"] == OOM_EXIT_CODE
+
+    def test_fault_seeds_decorrelate_across_attempts(self, monkeypatch):
+        """A probabilistic worker fault must not replay the same draw
+        on every attempt -- otherwise a crashing job crashes forever
+        (each child has fresh injector state)."""
+        plan_env(monkeypatch, "service.worker.execute", "segfault",
+                 probability=0.5)
+        kinds = {run_sandboxed(TINY_SPEC, ExecutionDefaults(),
+                               job_id="j-mix", attempt=attempt).kind
+                 for attempt in (1, 2, 3, 4)}
+        assert len(kinds) > 1, kinds
+
+
+class TestOutcomeShape:
+    def test_outcome_is_a_plain_dataclass(self):
+        outcome = SandboxOutcome(kind="result", result={"x": 1})
+        assert dataclasses.asdict(outcome)["result"] == {"x": 1}

@@ -1,0 +1,187 @@
+"""Supervisor tests: detection, restart-with-backoff, circuit breaker.
+
+The breaker state machine is driven through :meth:`Supervisor.sweep`
+with injected timestamps -- no real sleeps, no real threads -- against
+a scriptable fake pool.  One integration test exercises a real
+:class:`~repro.service.workers.WorkerPool` losing a worker thread.
+"""
+
+import threading
+
+from repro.service.supervisor import Supervisor
+from repro.service.workers import ExecutionDefaults, WorkerPool
+from repro.telemetry import REGISTRY
+
+
+class FakePool:
+    """A pool whose casualties the test scripts."""
+
+    def __init__(self):
+        self.pool_size = 2
+        self.dead = []
+        self.heartbeat = True
+        self.restarted = []
+        self.isolation = "thread"
+
+    def dead_workers(self):
+        return list(self.dead)
+
+    def restart_worker(self, name):
+        self.restarted.append(name)
+        self.dead.remove(name)
+        return True
+
+    def heartbeat_alive(self):
+        return self.heartbeat
+
+    def restart_heartbeat(self):
+        self.restarted.append("heartbeat")
+        self.heartbeat = True
+
+    def alive_workers(self):
+        return self.pool_size - len(self.dead)
+
+    def busy(self):
+        return 0
+
+    def last_beat_age(self):
+        return 0.1
+
+    def liveness(self):
+        return {"pool_size": self.pool_size,
+                "workers_alive": self.alive_workers(),
+                "heartbeat_alive": self.heartbeat,
+                "last_beat_age": self.last_beat_age(),
+                "busy": 0, "isolation": self.isolation}
+
+
+def supervisor(pool, **overrides):
+    settings = dict(seed=7, base_backoff=0.0, breaker_threshold=3,
+                    breaker_window=10.0, breaker_cooldown=5.0)
+    settings.update(overrides)
+    return Supervisor(pool, **settings)
+
+
+class TestRestart:
+    def test_dead_worker_is_restarted(self):
+        pool = FakePool()
+        sup = supervisor(pool)
+        pool.dead = ["worker-1"]
+        assert sup.sweep(now=0.0) == ["worker-1"]
+        assert pool.restarted == ["worker-1"]
+        assert sup.restarts() == 1
+        assert sup.breaker_state() == "closed"
+
+    def test_dead_heartbeat_is_restarted(self):
+        pool = FakePool()
+        sup = supervisor(pool)
+        pool.heartbeat = False
+        assert sup.sweep(now=0.0) == ["heartbeat"]
+        assert pool.heartbeat
+
+    def test_healthy_requires_workers_and_heartbeat(self):
+        pool = FakePool()
+        sup = supervisor(pool)
+        assert sup.healthy()
+        pool.heartbeat = False
+        assert not sup.healthy()
+        pool.heartbeat = True
+        pool.dead = ["worker-0", "worker-1"]
+        assert not sup.healthy()
+
+    def test_state_snapshot_shape(self):
+        sup = supervisor(FakePool())
+        state = sup.state()
+        assert state["breaker"] == "closed"
+        assert state["healthy"]
+        assert state["workers_alive"] == 2
+
+
+class TestBreaker:
+    def churn(self, sup, pool, times, start=0.0, step=0.1):
+        """Kill and sweep ``times`` times in quick succession."""
+        for index in range(times):
+            pool.dead = ["worker-0"]
+            sup.sweep(now=start + index * step)
+
+    def test_churn_opens_breaker_and_suspends_restarts(self):
+        pool = FakePool()
+        sup = supervisor(pool, breaker_threshold=3)
+        self.churn(sup, pool, 4)
+        assert sup.breaker_state() == "open"
+        assert not sup.healthy()
+        # Open breaker: the next casualty is NOT revived.
+        pool.dead = ["worker-0"]
+        assert sup.sweep(now=1.0) == []
+        assert pool.dead == ["worker-0"]
+
+    def test_slow_restarts_never_open_breaker(self):
+        pool = FakePool()
+        sup = supervisor(pool, breaker_threshold=3, breaker_window=10.0)
+        # Same total count as the churn test, but spread far apart.
+        self.churn(sup, pool, 6, step=20.0)
+        assert sup.breaker_state() == "closed"
+
+    def test_half_open_probe_survives_and_closes(self):
+        pool = FakePool()
+        sup = supervisor(pool, breaker_cooldown=5.0)
+        self.churn(sup, pool, 4)
+        assert sup.breaker_state() == "open"
+        # Past the cooldown: half-open, one probationary restart.
+        pool.dead = ["worker-0"]
+        assert sup.sweep(now=100.0) == ["worker-0"]
+        assert sup.breaker_state() == "half-open"
+        # A clean sweep closes the breaker.
+        sup.sweep(now=101.0)
+        assert sup.breaker_state() == "closed"
+        assert sup.healthy()
+
+    def test_half_open_probe_dies_and_reopens(self):
+        pool = FakePool()
+        sup = supervisor(pool)
+        self.churn(sup, pool, 4)
+        pool.dead = ["worker-0"]
+        sup.sweep(now=100.0)  # probe restart under half-open
+        assert sup.breaker_state() == "half-open"
+        pool.dead = ["worker-0"]  # the probe died again
+        assert sup.sweep(now=100.5) == []
+        assert sup.breaker_state() == "open"
+
+    def test_restarts_metric_counts(self):
+        before = REGISTRY.counter("service.supervisor.restarts").value
+        pool = FakePool()
+        sup = supervisor(pool)
+        pool.dead = ["worker-0"]
+        sup.sweep(now=0.0)
+        after = REGISTRY.counter("service.supervisor.restarts").value
+        assert after == before + 1
+
+
+class TestRealPool:
+    def test_real_worker_death_is_detected_and_revived(self, tmp_path):
+        from repro.service.queue import JobQueue
+
+        queue = JobQueue(tmp_path)
+        pool = WorkerPool(queue, ExecutionDefaults(), pool_size=1,
+                          poll_interval=0.02)
+        pool.start()
+        try:
+            # Simulate a silent worker death: swap the live thread for
+            # one that already exited (the thread object is the unit of
+            # liveness the pool watches).
+            corpse = threading.Thread(target=lambda: None)
+            corpse.start()
+            corpse.join()
+            pool._threads["worker-0"] = corpse
+            assert pool.dead_workers() == ["worker-0"]
+            assert pool.alive_workers() == 0
+
+            sup = supervisor(pool)
+            assert sup.sweep(now=0.0) == ["worker-0"]
+            assert pool.dead_workers() == []
+            assert pool.alive_workers() == 1
+            assert pool.heartbeat_alive()
+        finally:
+            assert pool.drain(10.0)
+        # Draining pools report no casualties: exits are deliberate.
+        assert pool.dead_workers() == []
