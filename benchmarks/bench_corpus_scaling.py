@@ -1,0 +1,104 @@
+"""Corpus generation scaling: wall-clock and peak RSS per family.
+
+Each scalable family is generated and emitted at roughly 10^3, 10^4 and
+10^5 gates in a fresh child interpreter, so peak RSS is attributable to
+that single build (``ru_maxrss`` is process-monotonic and useless for
+in-process sequencing).  Reported per point:
+
+* ``build_s`` / ``emit_s`` -- generator and ``.bench`` writer seconds;
+* ``peak_rss_mb`` -- the child's peak resident set;
+* ``gates`` -- actual size (asserted within 25% of the target).
+
+The ``random`` family is excluded by its registry flag (``scalable =
+False``: the O(gates x dffs) register-pool rebuild prices it out of
+10^5 until the flat-core refactor, ROADMAP item 1).
+
+Run with ``pytest benchmarks/bench_corpus_scaling.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from .conftest import once
+
+TARGETS = (1_000, 10_000, 100_000)
+
+
+def _shape(family: str, n: int) -> dict:
+    """Generator params putting ``family`` near ``n`` gates."""
+    if family == "pipeline":
+        width = 100
+        return {"stages": max(2, n // width), "width": width}
+    if family == "fsm_datapath":
+        width = 100
+        return {"state_bits": 6, "stages": max(1, n // width),
+                "width": width}
+    if family == "tree":
+        return {"leaves": n, "reg_every": 2}
+    if family == "mesh":
+        side = max(2, round(math.sqrt(n)))
+        return {"rows": side, "cols": side}
+    if family == "cslow":
+        side = max(2, round(math.sqrt(n)))
+        return {"c": 2, "base_family": "mesh",
+                "base_params": {"rows": side, "cols": side}}
+    raise ValueError(family)
+
+
+_CHILD = r"""
+import json, resource, sys, time
+from repro.corpus.families import CircuitSpec, build_circuit
+from repro.netlist.bench_format import dumps_bench
+
+spec = CircuitSpec(name="bench", family=sys.argv[1],
+                   params=json.loads(sys.argv[2]), seed=0)
+t0 = time.perf_counter()
+circuit = build_circuit(spec)
+t1 = time.perf_counter()
+text = dumps_bench(circuit)
+t2 = time.perf_counter()
+rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "gates": circuit.n_gates, "dffs": circuit.n_dffs,
+    "build_s": t1 - t0, "emit_s": t2 - t1,
+    "emitted_bytes": len(text), "peak_rss_mb": rss_kb / 1024.0}))
+"""
+
+
+def _measure(family: str, n: int) -> dict:
+    src_root = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, family, json.dumps(_shape(family, n))],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _scalable_families() -> list[str]:
+    from repro.corpus.families import FAMILIES
+
+    return [name for name, family in FAMILIES.items() if family.scalable]
+
+
+@pytest.mark.parametrize("n", TARGETS)
+@pytest.mark.parametrize("family", _scalable_families())
+def test_generation_scales(benchmark, family, n):
+    point = once(benchmark, _measure, family, n)
+    benchmark.extra_info.update(point)
+    print(f"\n{family:13s} target={n:>7d} gates={point['gates']:>7d} "
+          f"dffs={point['dffs']:>7d} build={point['build_s']:7.3f}s "
+          f"emit={point['emit_s']:7.3f}s rss={point['peak_rss_mb']:7.1f}MB")
+    assert abs(point["gates"] - n) <= 0.25 * n
+    # generation must stay interactive even at the top of the range
+    assert point["build_s"] + point["emit_s"] < 300.0

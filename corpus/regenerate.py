@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the committed small-tier corpus and its golden digests.
+
+Usage (from the repository root, no environment setup needed):
+
+    python corpus/regenerate.py
+
+Rebuilds ``corpus/small/`` -- every emitted ``.bench``/``.blif`` file
+plus ``corpus-manifest.json`` -- and reruns the small scenario matrix to
+refresh ``corpus/small/matrix-golden.json``.  Only do this after an
+*intentional* change to generators, emitters, solvers or simulation
+behaviour, and commit the refreshed artifacts together with that
+change: CI regenerates both and fails on any byte- or digest-level
+drift (see ``docs/corpus.md``).
+"""
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SMALL_DIR = REPO_ROOT / "corpus" / "small"
+
+
+def main() -> int:
+    from repro.corpus import run_matrix, write_corpus, write_digest_table
+    from repro.corpus.matrix import GOLDEN_BASENAME
+
+    if SMALL_DIR.exists():
+        shutil.rmtree(SMALL_DIR)
+    payload = write_corpus("small", SMALL_DIR)
+    print(f"wrote {len(payload['circuits'])} circuits + manifest "
+          f"to {SMALL_DIR}")
+    # No out_dir: golden digests must come from a fresh, checkpoint-free
+    # run, never resumed from stale manifests.
+    result = run_matrix("small",
+                        progress=lambda line: print(line, file=sys.stderr))
+    golden_path = SMALL_DIR / GOLDEN_BASENAME
+    write_digest_table(result.digest_table(), golden_path)
+    not_ok = sum(1 for s in result.statuses.values() if s != "ok")
+    print(f"wrote {golden_path}: {len(result.cells)} cells, "
+          f"{not_ok} degraded")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

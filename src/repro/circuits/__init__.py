@@ -15,10 +15,14 @@ of [20]", which are not redistributable.  This package provides:
 """
 
 from .generators import (
+    fsm_datapath_circuit,
     lfsr_circuit,
+    mesh_circuit,
     pipeline_circuit,
     random_sequential_circuit,
+    resolve_rng,
     ripple_counter_circuit,
+    tree_circuit,
 )
 from .small import (
     figure1_circuit,
@@ -33,6 +37,10 @@ __all__ = [
     "pipeline_circuit",
     "lfsr_circuit",
     "ripple_counter_circuit",
+    "fsm_datapath_circuit",
+    "tree_circuit",
+    "mesh_circuit",
+    "resolve_rng",
     "figure1_circuit",
     "iscas_s27",
     "simple_feedback_circuit",

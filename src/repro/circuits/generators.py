@@ -17,6 +17,15 @@ Design notes (what matters for reproducing the paper's behaviour):
   that separate the fast backward ODC propagation from the exact oracle;
 * *op mix*: weighted toward NAND/NOR/AND/OR with some XOR, so signal
   probabilities stay away from degenerate 0/1 fixpoints.
+
+Seeding contract (the dgen-rs rule): every stochastic generator accepts
+either a bare integer ``seed`` *or* an explicit ``rng``
+(:class:`numpy.random.Generator`) instance.  Passing an instance lets a
+composite generator (an FSM + datapath mix, a c-slowed core, a corpus
+tier) thread **one** private stream through its sub-generators, so
+nothing ever touches shared or global RNG state and the emitted netlist
+is a pure function of ``(family, params, seed)`` -- byte-reproducible
+across processes and platforms (see :mod:`repro.corpus`).
 """
 
 from __future__ import annotations
@@ -26,6 +35,28 @@ import numpy as np
 from ..errors import NetlistError
 from ..netlist.circuit import Circuit
 from ..netlist.cell_library import CellLibrary
+
+
+def resolve_rng(seed: int = 0,
+                rng: np.random.Generator | None = None,
+                ) -> np.random.Generator:
+    """Return the RNG a generator should draw from.
+
+    An explicit ``rng`` instance wins over ``seed``; a fresh PCG64
+    stream is derived from ``seed`` otherwise.  Rejects anything that is
+    not a :class:`numpy.random.Generator` (notably the legacy
+    ``numpy.random.RandomState`` and ``random.Random``): their streams
+    differ, and a silently accepted wrong type would break the corpus's
+    byte-reproducibility contract.
+    """
+    if rng is None:
+        return np.random.default_rng(seed)
+    if not isinstance(rng, np.random.Generator):
+        raise NetlistError(
+            f"rng must be a numpy.random.Generator instance, "
+            f"got {type(rng).__name__}")
+    return rng
+
 
 _OPS_BY_ARITY: dict[int, list[str]] = {
     1: ["NOT", "BUF"],
@@ -47,7 +78,9 @@ def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
                               locality: int = 64,
                               feedback_fraction: float = 0.5,
                               seed: int = 0,
-                              library: CellLibrary | None = None) -> Circuit:
+                              library: CellLibrary | None = None,
+                              rng: np.random.Generator | None = None,
+                              ) -> Circuit:
     """Generate a random synchronous circuit.
 
     Parameters
@@ -68,12 +101,16 @@ def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
         forward like pipeline registers.
     seed:
         RNG seed; identical arguments always produce identical netlists.
+    rng:
+        Explicit :class:`numpy.random.Generator` to draw from instead of
+        ``seed`` (see :func:`resolve_rng`); composite generators pass
+        their own stream here so nested calls never share state.
     """
     if n_gates < 2:
         raise NetlistError("need at least 2 gates")
     if n_inputs < 1:
         raise NetlistError("need at least 1 primary input")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed, rng)
     circuit = Circuit(name, library)
 
     inputs = [circuit.add_input(f"pi{i}") for i in range(n_inputs)]
@@ -217,7 +254,8 @@ def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
 
 def pipeline_circuit(name: str = "pipeline", stages: int = 4,
                      width: int = 8, seed: int = 0,
-                     library: CellLibrary | None = None) -> Circuit:
+                     library: CellLibrary | None = None,
+                     rng: np.random.Generator | None = None) -> Circuit:
     """A feed-forward pipelined datapath (register bank between stages).
 
     Each stage is a shuffle of 2-input gates over the previous stage's
@@ -227,7 +265,7 @@ def pipeline_circuit(name: str = "pipeline", stages: int = 4,
     keeping the Leiserson-Saxe per-edge register model aligned with the
     physical register count.
     """
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed, rng)
     circuit = Circuit(name, library)
     current = [circuit.add_input(f"in{i}") for i in range(width)]
     for stage in range(stages):
@@ -304,4 +342,172 @@ def ripple_counter_circuit(name: str = "counter", bits: int = 4,
             carry = circuit.add_gate(f"c{i}", "AND", [carry, regs[i]])
     for q in regs:
         circuit.add_output(q)
+    return circuit
+
+
+def fsm_datapath_circuit(name: str = "fsm_dp", state_bits: int = 4,
+                         stages: int = 3, width: int = 8, seed: int = 0,
+                         library: CellLibrary | None = None,
+                         rng: np.random.Generator | None = None) -> Circuit:
+    """An FSM controlling a pipelined datapath (control + data mix).
+
+    The controller is a ``state_bits``-wide register bank with decode
+    gates that merge *pairs* of state registers (the structure that gives
+    retiming its register-merge moves) and next-state XOR feedback; each
+    datapath stage is gated by one decode output, so control and data
+    logic genuinely interleave -- the mixed-topology case absent from the
+    paper's Table I rows.
+
+    Gate count grows as ``O(state_bits + stages * width)``; both halves
+    draw from one ``rng`` stream, so the netlist is a pure function of
+    ``(params, seed)``.
+    """
+    if state_bits < 2:
+        raise NetlistError("need at least 2 state bits")
+    if stages < 1 or width < 2:
+        raise NetlistError("need at least 1 stage and width >= 2")
+    rng = resolve_rng(seed, rng)
+    circuit = Circuit(name, library)
+    ctl = circuit.add_input("ctl")
+    data = [circuit.add_input(f"in{i}") for i in range(width)]
+
+    # Controller: decode gates merge adjacent state-register pairs, the
+    # next-state bit XORs the decode with the control input (a register
+    # -> decode -> XOR -> register loop, broken by the register).
+    state = [f"st{i}" for i in range(state_bits)]
+    decodes: list[str] = []
+    for i in range(state_bits):
+        a, b = state[i], state[(i + 1) % state_bits]
+        ops = _OPS_BY_ARITY[2]
+        op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[2])]
+        if op == "XOR" and a == b:
+            op = "NAND"
+        decodes.append(circuit.add_gate(f"dec{i}", op, [a, b]))
+        nxt = circuit.add_gate(f"nxt{i}", "XOR", [decodes[i], ctl])
+        circuit.add_dff(state[i], nxt, init=i % 2)
+
+    # Datapath: each stage permutes its lanes through 2-input gates; one
+    # lane per stage is gated by a controller decode output so the FSM's
+    # observability couples into the datapath's.
+    current = data
+    for stage in range(stages):
+        perm = rng.permutation(width)
+        gate_lane = int(rng.integers(0, width))
+        stage_nets: list[str] = []
+        for lane in range(width):
+            a = current[int(perm[lane])]
+            if lane == gate_lane:
+                b = decodes[stage % state_bits]
+            elif lane % 3 and stage_nets:
+                b = stage_nets[-1]
+            else:
+                b = current[int(perm[(lane + 1) % width])]
+            ops = _OPS_BY_ARITY[2]
+            op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[2])]
+            if a == b and op == "XOR":
+                op = "NAND"
+            stage_nets.append(
+                circuit.add_gate(f"p{stage}_g{lane}", op, [a, b]))
+        current = [circuit.add_dff(f"p{stage}_r{lane}", net)
+                   for lane, net in enumerate(stage_nets)]
+    for net in current:
+        circuit.add_output(net)
+    # Observe the controller through a side path as well, so moving its
+    # registers unions differently-shifted latching windows (the Fig. 1
+    # ELW-growth structure).
+    obs = circuit.add_gate("st_obs", "OR", [state[0], state[-1]])
+    circuit.add_output(obs)
+
+    from ..netlist.validate import validate_circuit
+
+    validate_circuit(circuit)
+    return circuit
+
+
+def tree_circuit(name: str = "tree", leaves: int = 16, reg_every: int = 2,
+                 seed: int = 0, library: CellLibrary | None = None,
+                 rng: np.random.Generator | None = None) -> Circuit:
+    """A registered reduction tree with root-to-leaf feedback.
+
+    ``leaves`` primary inputs reduce pairwise through 2-input gates; a
+    register bank cuts the tree every ``reg_every`` levels (pipelined
+    interconnect), and the registered root feeds back into the first
+    leaf pair so the loop exercises time-frame expansion.  Gate count is
+    ``leaves - 1`` plus the feedback mixer -- O(n) at any scale.
+    """
+    if leaves < 2:
+        raise NetlistError("need at least 2 leaves")
+    if reg_every < 1:
+        raise NetlistError("reg_every must be >= 1")
+    rng = resolve_rng(seed, rng)
+    circuit = Circuit(name, library)
+    root_reg = "root_r"
+    first = circuit.add_input("leaf0")
+    mixer = circuit.add_gate("fb_mix", "XOR", [first, root_reg])
+    level = [mixer] + [circuit.add_input(f"leaf{i}")
+                       for i in range(1, leaves)]
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        nxt: list[str] = []
+        for k in range(0, len(level) - 1, 2):
+            ops = _OPS_BY_ARITY[2]
+            op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[2])]
+            nxt.append(circuit.add_gate(
+                f"t{depth}_{k // 2}", op, [level[k], level[k + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        if depth % reg_every == 0 and len(nxt) > 1:
+            nxt = [circuit.add_dff(f"t{depth}_r{j}", net)
+                   if net in circuit.gates else net
+                   for j, net in enumerate(nxt)]
+        level = nxt
+    circuit.add_dff(root_reg, level[0], init=0)
+    circuit.add_output(root_reg)
+    circuit.add_output(level[0])
+
+    from ..netlist.validate import validate_circuit
+
+    validate_circuit(circuit)
+    return circuit
+
+
+def mesh_circuit(name: str = "mesh", rows: int = 4, cols: int = 4,
+                 seed: int = 0, library: CellLibrary | None = None,
+                 rng: np.random.Generator | None = None) -> Circuit:
+    """A systolic 2-D mesh with a registered torus wrap.
+
+    Each cell combines its west and north neighbours through a 2-input
+    gate and registers the result (nearest-neighbour interconnect, the
+    topology of systolic arrays and NoC fabrics).  The east edge wraps
+    back to the west edge through the cell registers, closing ``rows``
+    feedback rings; the north edge is fed by primary inputs and the
+    south edge drives the primary outputs.  ``rows * cols`` gates and
+    registers -- O(n) at any scale.
+    """
+    if rows < 1 or cols < 2:
+        raise NetlistError("need at least 1 row and 2 columns")
+    rng = resolve_rng(seed, rng)
+    circuit = Circuit(name, library)
+    north = [circuit.add_input(f"n{c}") for c in range(cols)]
+
+    def reg(r: int, c: int) -> str:
+        return f"m{r}_{c}_r"
+
+    for r in range(rows):
+        for c in range(cols):
+            west = reg(r, (c - 1) % cols)  # torus wrap on column 0
+            ops = _OPS_BY_ARITY[2]
+            op = ops[rng.choice(len(ops), p=_OP_WEIGHTS[2])]
+            if op == "XOR" and west == north[c]:
+                op = "NAND"
+            g = circuit.add_gate(f"m{r}_{c}_g", op, [west, north[c]])
+            circuit.add_dff(reg(r, c), g, init=(r + c) % 2)
+        north = [reg(r, c) for c in range(cols)]
+    for c in range(cols):
+        circuit.add_output(reg(rows - 1, c))
+
+    from ..netlist.validate import validate_circuit
+
+    validate_circuit(circuit)
     return circuit

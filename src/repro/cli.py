@@ -21,15 +21,22 @@ Subcommands
 ``serve``
     Run the resident retiming service: a durable job queue behind a
     small HTTP API (see :mod:`repro.service` and ``docs/service.md``).
+``corpus``
+    Generate, verify or list the synthetic workload corpus tiers
+    (see :mod:`repro.corpus` and ``docs/corpus.md``).
+``matrix``
+    Run the scenario matrix (corpus x fault model x solver config) and
+    emit / check its per-cell golden digest table.
 
-``table1`` and ``chaos`` handle SIGTERM/SIGINT gracefully: the current
-checkpoint state is preserved (parallel runs salvage completed shard
-checkpoints first) and the process exits with
+``table1``, ``chaos`` and ``matrix`` handle SIGTERM/SIGINT gracefully:
+the current checkpoint state is preserved (parallel runs salvage
+completed shard checkpoints first) and the process exits with
 :data:`INTERRUPT_EXIT_CODE` so callers can distinguish "operator
 stopped it, resume later" from real failures.
 
-``table1`` and ``chaos`` accept ``--trace``/``--trace-dir`` (structured
-span trace of the run) and ``--metrics-out`` (metrics-registry dump).
+``table1``, ``chaos`` and ``matrix`` accept ``--trace``/``--trace-dir``
+(structured span trace of the run) and ``--metrics-out``
+(metrics-registry dump).
 
 Every command honours the ``REPRO_FAULT_PLAN`` environment variable
 (inline fault-plan JSON or a path): when set, the named injection sites
@@ -40,6 +47,7 @@ breaks child processes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ._util import percent
@@ -54,7 +62,7 @@ INTERRUPT_EXIT_CODE = 75
 
 #: Subcommands whose checkpoint/resume machinery makes an interrupt
 #: safe to convert into a clean "stopped, resume later" exit.
-_INTERRUPTIBLE = ("table1", "chaos")
+_INTERRUPTIBLE = ("table1", "chaos", "matrix")
 
 
 #: Extensions `_load` understands, mapped to their reader names.
@@ -356,6 +364,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import FAMILIES, TIERS, tier_specs, verify_corpus, \
+        write_corpus
+
+    if args.action == "list":
+        print("families:")
+        for family in FAMILIES.values():
+            scale = "" if family.scalable else "  (not 1e5-scalable)"
+            print(f"  {family.name:14s} {family.description}{scale}")
+        print("tiers:")
+        for tier, specs in TIERS.items():
+            print(f"  {tier}: {len(specs)} circuits")
+            for spec in specs:
+                print(f"    {spec.name:10s} {spec.family:14s} "
+                      f"{spec.fmt:5s} {spec.library:14s} seed={spec.seed}")
+        return 0
+    if args.action == "generate":
+        if not args.target:
+            raise ReproError("corpus generate needs an output directory")
+        payload = write_corpus(args.tier, args.target)
+        for name, entry in sorted(payload["circuits"].items()):
+            stats = entry["stats"]
+            print(f"{name:12s} {entry['file']:18s} "
+                  f"gates={stats['gates']:6d} dffs={stats['dffs']:6d} "
+                  f"{entry['sha256'][:23]}")
+        print(f"wrote {len(payload['circuits'])} circuits + manifest "
+              f"to {args.target}")
+        return 0
+    # verify
+    if not args.target:
+        raise ReproError("corpus verify needs a manifest path")
+    tier_specs(args.tier)  # fail early on a bad --tier (unused otherwise)
+    target = args.target
+    if os.path.isdir(target):
+        from .corpus.manifest import MANIFEST_BASENAME
+
+        target = os.path.join(target, MANIFEST_BASENAME)
+    problems = verify_corpus(target)
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}")
+        print(f"{len(problems)} problem(s): the corpus is not "
+              f"byte-reproducible from this manifest")
+        return 1
+    print(f"corpus verified: every circuit regenerates byte-identically "
+          f"({args.target})")
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    from .corpus import run_matrix, write_digest_table
+
+    trace_path = _trace_path(args, "matrix")
+    progress = (lambda line: print(line, file=sys.stderr)) \
+        if args.verbose else None
+    result = run_matrix(
+        args.tier, out_dir=args.out,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        circuits=tuple(args.circuits) if args.circuits else None,
+        workers=args.workers, cache=_use_cache(args),
+        cache_dir=args.cache_dir, max_retries=args.max_retries,
+        trace_path=trace_path, progress=progress)
+    for key in sorted(result.cells):
+        print(f"{key:36s} {result.statuses[key]:24s} "
+              f"{result.cells[key][:23]}")
+    not_ok = sum(1 for s in result.statuses.values() if s != "ok")
+    print(f"{len(result.cells)} cells, {not_ok} degraded")
+    table = result.digest_table()
+    if args.digests:
+        write_digest_table(table, args.digests)
+        print(f"digest table written to {args.digests}", file=sys.stderr)
+    code = 0
+    if args.check:
+        from .corpus import compare_digest_tables, load_digest_table
+
+        golden = load_digest_table(args.check)
+        if args.scenarios or args.circuits:
+            # A subset run checks only the cells it covered.
+            golden = dict(golden)
+            golden["cells"] = {k: v for k, v in golden["cells"].items()
+                               if k in result.cells}
+        mismatches = compare_digest_tables(table, golden)
+        for mismatch in mismatches:
+            print(f"MISMATCH {mismatch}")
+        if mismatches:
+            print(f"{len(mismatches)} cell(s) deviate from the golden "
+                  f"digest table {args.check}")
+            code = 1
+        else:
+            print(f"all {len(table['cells'])} cells match the golden "
+                  f"digest table")
+    _finish_telemetry(args, trace_path)
+    return code
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from .circuits.generators import random_sequential_circuit
     from .circuits.suites import table1_circuit
@@ -628,6 +731,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the metrics registry after the drain")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "corpus",
+        help="generate, verify or list the synthetic workload corpus")
+    p.add_argument("action", choices=("generate", "verify", "list"),
+                   help="generate: emit a tier + manifest into a "
+                        "directory; verify: prove a manifest's corpus "
+                        "regenerates byte-identically; list: show "
+                        "families and tiers")
+    p.add_argument("target", nargs="?", default=None,
+                   help="generate: output directory; verify: manifest "
+                        "path")
+    p.add_argument("--tier", default="small",
+                   choices=("small", "medium", "large"),
+                   help="corpus tier (default: small)")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "matrix",
+        help="run the scenario matrix (corpus x fault model x solver) "
+             "with golden cell digests")
+    p.add_argument("tier", nargs="?", default="small",
+                   choices=("small", "medium", "large"),
+                   help="corpus tier to run (default: small)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="checkpoint directory: one resumable run "
+                        "manifest per scenario; rerunning with the same "
+                        "DIR resumes after a kill with no duplicate or "
+                        "missing cells")
+    p.add_argument("--scenarios", nargs="+", default=None,
+                   metavar="NAME",
+                   help="scenario subset (default: the tier's full "
+                        "list; see repro.corpus.matrix.SCENARIOS)")
+    p.add_argument("--circuits", nargs="+", default=None, metavar="NAME",
+                   help="circuit subset of the tier (default: all)")
+    p.add_argument("--digests", default=None, metavar="FILE",
+                   help="write the per-cell digest table here "
+                        "(repro-matrix-digests JSON)")
+    p.add_argument("--check", default=None, metavar="GOLDEN",
+                   help="compare cell digests against a golden digest "
+                        "table; exit 1 on any deviation")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="extra attempts per stage before degrading")
+    p.add_argument("-w", "--workers", type=int, default=1,
+                   help="worker processes per scenario (same digests "
+                        "as a serial run)")
+    p.add_argument("-v", "--verbose", action="store_true")
+    cache_opts(p)
+    trace_opts(p)
+    p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("generate", help="emit a synthetic benchmark")
     p.add_argument("output")

@@ -1,0 +1,80 @@
+"""The synthetic workload corpus and its scenario matrix.
+
+The paper evaluates on 21 ISCAS89/ITC99-style rows; the north star
+needs workload *diversity* (topologies far beyond Table I) and a
+scaling ladder toward 10^5+ gates.  This package provides both:
+
+* :mod:`repro.corpus.families` -- the generator-family registry and the
+  sized corpus tiers (``small`` / ``medium`` / ``large``), each circuit
+  a pure function of ``(family, params, seed)``;
+* :mod:`repro.corpus.manifest` -- corpus generation and the
+  sha256-per-circuit manifest proving byte-level determinism across
+  processes and platforms;
+* :mod:`repro.corpus.matrix` -- the scenario-matrix runner (corpus x
+  fault model x solver config), executed through the resilient suite
+  runner with per-cell time-masked golden digests.
+
+The committed small tier lives in ``corpus/small/`` together with its
+manifest and the golden matrix digest table; CI regenerates both and
+fails on any byte- or digest-level drift.
+"""
+
+from .families import (
+    FAMILIES,
+    TIERS,
+    CircuitSpec,
+    build_circuit,
+    corpus_circuit,
+    resolve_library,
+    tier_specs,
+)
+from .manifest import (
+    CORPUS_MANIFEST_FORMAT,
+    circuit_sha256,
+    emit_circuit,
+    generate_corpus,
+    load_corpus_manifest,
+    verify_corpus,
+    write_corpus,
+)
+from .matrix import (
+    FAULT_MODELS,
+    MATRIX_FORMAT,
+    SCENARIOS,
+    SOLVER_PRESETS,
+    TIER_SCENARIOS,
+    MatrixResult,
+    cell_digest,
+    compare_digest_tables,
+    load_digest_table,
+    run_matrix,
+    write_digest_table,
+)
+
+__all__ = [
+    "FAMILIES",
+    "TIERS",
+    "CircuitSpec",
+    "build_circuit",
+    "corpus_circuit",
+    "resolve_library",
+    "tier_specs",
+    "CORPUS_MANIFEST_FORMAT",
+    "circuit_sha256",
+    "emit_circuit",
+    "generate_corpus",
+    "load_corpus_manifest",
+    "verify_corpus",
+    "write_corpus",
+    "FAULT_MODELS",
+    "MATRIX_FORMAT",
+    "SCENARIOS",
+    "SOLVER_PRESETS",
+    "TIER_SCENARIOS",
+    "MatrixResult",
+    "cell_digest",
+    "compare_digest_tables",
+    "load_digest_table",
+    "run_matrix",
+    "write_digest_table",
+]

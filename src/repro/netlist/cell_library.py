@@ -232,6 +232,44 @@ def unit_delay_library() -> CellLibrary:
     return lib
 
 
+def skewed_library(seed: int = 0, skew: float = 0.35,
+                   name: str | None = None) -> CellLibrary:
+    """A seeded perturbation of the generic library (process skew).
+
+    Every characterization point's delay and raw SER are scaled by an
+    independent uniform factor in ``[1 - skew/2, 1 + skew/2]``, drawn
+    from a private PCG64 stream -- a deterministic surrogate for a
+    process-corner or voltage-skewed library.  Skewed delays break the
+    near-uniform path slack of the surrogate library, so ELW constraints
+    and timing masking are stressed on asymmetric paths the generic
+    characterization never produces.
+
+    Values are rounded to 6 decimals so the library (and everything
+    digested from it) is bit-identical across platforms; identical
+    ``(seed, skew)`` always yields an identical library.
+    """
+    import numpy as np
+
+    if skew < 0:
+        raise LibraryError(f"skew must be non-negative, got {skew}")
+    rng = np.random.default_rng(seed)
+    lib = CellLibrary(name=name or f"skewed-s{seed}",
+                      register_raw_ser=round(
+                          1.3 * float(1.0 + skew * (rng.random() - 0.5)), 6),
+                      setup_time=0.0, hold_time=2.0)
+    for op, (d0, d_inc, s0, s_inc) in _CHARACTERIZATION.items():
+        lo, hi = _ARITY[op]
+        for n in range(lo, hi + 1):
+            extra = max(0, n - max(lo, 1))
+            d_f, s_f = 1.0 + skew * (rng.random(2) - 0.5)
+            delay = (d0 + d_inc * extra) * float(d_f)
+            raw_ser = (s0 + s_inc * extra) * float(s_f)
+            lib.add(CellType(op=op, n_inputs=n,
+                             delay=round(delay, 6),
+                             raw_ser=round(raw_ser, 6)))
+    return lib
+
+
 #: Shared default instances; treat as immutable.
 GENERIC_LIBRARY = generic_library()
 UNIT_LIBRARY = unit_delay_library()

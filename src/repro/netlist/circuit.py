@@ -92,6 +92,7 @@ class Circuit:
         self.outputs: list[str] = []
         self.gates: dict[str, Gate] = {}
         self.dffs: dict[str, DFF] = {}
+        self._input_set: set[str] = set()
         self._topo_cache: list[str] | None = None
         self._fanout_cache: dict[str, list[str]] | None = None
 
@@ -100,7 +101,7 @@ class Circuit:
     # ------------------------------------------------------------------
 
     def _check_fresh(self, name: str) -> None:
-        if name in self.gates or name in self.dffs or name in self.inputs:
+        if self.is_net(name):
             raise NetlistError(f"net {name!r} already defined")
 
     def add_input(self, name: str) -> str:
@@ -108,6 +109,7 @@ class Circuit:
         check_name(name, "input")
         self._check_fresh(name)
         self.inputs.append(name)
+        self._input_set.add(name)
         self._invalidate()
         return name
 
@@ -147,9 +149,16 @@ class Circuit:
         """All net names: inputs, then gate outputs, then flip-flop outputs."""
         return list(self.inputs) + list(self.gates) + list(self.dffs)
 
+    def _is_input(self, name: str) -> bool:
+        """Set-backed input membership (``inputs`` can be 10^5 names)."""
+        if len(self._input_set) != len(self.inputs):
+            self._input_set = set(self.inputs)
+        return name in self._input_set
+
     def is_net(self, name: str) -> bool:
         """True if ``name`` is a defined net."""
-        return name in self.gates or name in self.dffs or name in self.inputs
+        return name in self.gates or name in self.dffs \
+            or self._is_input(name)
 
     def driver_kind(self, net: str) -> str:
         """Return ``'input'``, ``'gate'`` or ``'dff'`` for a defined net."""
@@ -157,7 +166,7 @@ class Circuit:
             return "gate"
         if net in self.dffs:
             return "dff"
-        if net in self.inputs:
+        if self._is_input(net):
             return "input"
         raise NetlistError(f"undefined net {net!r}")
 

@@ -4,13 +4,17 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import NetlistError
+from repro.errors import LibraryError, NetlistError
 from repro.circuits.generators import (
+    fsm_datapath_circuit,
     lfsr_circuit,
+    mesh_circuit,
     pipeline_circuit,
     random_sequential_circuit,
     ripple_counter_circuit,
+    tree_circuit,
 )
+from repro.netlist.cell_library import generic_library, skewed_library
 from repro.graph.retiming_graph import RetimingGraph
 from repro.netlist import validate_circuit
 from repro.sim.bitvec import from_bits, get_bit
@@ -112,3 +116,110 @@ class TestStructuredGenerators:
     def test_counter_bad_bits(self):
         with pytest.raises(NetlistError):
             ripple_counter_circuit(bits=0)
+
+
+class TestCorpusFamilies:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_fsm_datapath_well_formed(self, seed):
+        c = fsm_datapath_circuit(state_bits=4, stages=3, width=6,
+                                 seed=seed)
+        validate_circuit(c)
+        g = RetimingGraph.from_circuit(c)
+        assert g.cycles_have_registers()
+
+    def test_fsm_datapath_has_state_feedback(self):
+        c = fsm_datapath_circuit(state_bits=4, stages=2, width=4, seed=1)
+        # Every state register is read by a decode gate: the circuit has
+        # genuine sequential feedback, not just pipeline registers.
+        read = {net for gate in c.gates.values() for net in gate.inputs}
+        for i in range(4):
+            assert f"st{i}" in read
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500),
+           leaves=st.integers(2, 64),
+           reg_every=st.integers(1, 4))
+    def test_tree_well_formed(self, seed, leaves, reg_every):
+        c = tree_circuit(leaves=leaves, reg_every=reg_every, seed=seed)
+        validate_circuit(c)
+        g = RetimingGraph.from_circuit(c)
+        assert g.cycles_have_registers()
+
+    def test_tree_gate_count_is_linear(self):
+        c = tree_circuit(leaves=256, reg_every=2, seed=0)
+        assert c.n_gates == 256  # leaves - 1 reductions + feedback mixer
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500),
+           rows=st.integers(1, 8), cols=st.integers(2, 8))
+    def test_mesh_well_formed(self, seed, rows, cols):
+        c = mesh_circuit(rows=rows, cols=cols, seed=seed)
+        validate_circuit(c)
+        g = RetimingGraph.from_circuit(c)
+        assert g.cycles_have_registers()
+
+    def test_mesh_is_one_cell_per_node(self):
+        c = mesh_circuit(rows=6, cols=7, seed=0)
+        assert c.n_gates == 42
+        assert c.n_dffs == 42
+        assert len(c.outputs) == 7
+
+    def test_new_families_reject_bad_sizes(self):
+        with pytest.raises(NetlistError):
+            fsm_datapath_circuit(state_bits=1)
+        with pytest.raises(NetlistError):
+            fsm_datapath_circuit(stages=0)
+        with pytest.raises(NetlistError):
+            tree_circuit(leaves=1)
+        with pytest.raises(NetlistError):
+            tree_circuit(reg_every=0)
+        with pytest.raises(NetlistError):
+            mesh_circuit(rows=0)
+        with pytest.raises(NetlistError):
+            mesh_circuit(cols=1)
+
+
+class TestSkewedLibrary:
+    def test_deterministic_and_seed_sensitive(self):
+        a = skewed_library(seed=5, skew=0.3)
+        b = skewed_library(seed=5, skew=0.3)
+        c = skewed_library(seed=6, skew=0.3)
+        table = lambda lib: [(x.op, x.n_inputs, x.delay, x.raw_ser)
+                             for x in lib.cells()]
+        assert table(a) == table(b)
+        assert table(a) != table(c)
+
+    def test_covers_the_full_characterization(self):
+        generic = generic_library()
+        skewed = skewed_library(seed=0, skew=0.4)
+        for cell in generic.cells():
+            assert (cell.op, cell.n_inputs) in skewed
+
+    def test_skew_bounds(self):
+        generic = generic_library()
+        skewed = skewed_library(seed=2, skew=0.4)
+        for cell in generic.cells():
+            if cell.delay == 0.0:
+                continue
+            ratio = skewed.delay(cell.op, cell.n_inputs) / cell.delay
+            assert 0.8 - 1e-9 <= ratio <= 1.2 + 1e-9
+
+    def test_zero_skew_matches_generic(self):
+        generic = generic_library()
+        flat = skewed_library(seed=9, skew=0.0)
+        for cell in generic.cells():
+            assert flat.delay(cell.op, cell.n_inputs) == \
+                pytest.approx(cell.delay)
+            assert flat.raw_ser(cell.op, cell.n_inputs) == \
+                pytest.approx(cell.raw_ser)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(LibraryError):
+            skewed_library(seed=0, skew=-0.1)
+
+    def test_generators_accept_the_library(self):
+        lib = skewed_library(seed=1, skew=0.3)
+        c = mesh_circuit(rows=3, cols=3, seed=0, library=lib)
+        validate_circuit(c)
+        assert c.library is lib

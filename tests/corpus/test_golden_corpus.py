@@ -1,0 +1,65 @@
+"""The committed small-tier corpus is byte-exact and digest-exact.
+
+Tier-1 keeps this cheap: full manifest verification (regeneration +
+on-disk bytes + parse) plus a two-cell slice of the matrix checked
+against the committed golden table.  The CI ``corpus`` job and the
+``REPRO_CHAOS`` nightly run widen the slice to all 36 cells.
+"""
+
+import os
+
+import pytest
+
+from repro.corpus import (
+    load_corpus_manifest,
+    load_digest_table,
+    run_matrix,
+    verify_corpus,
+)
+from repro.corpus.manifest import MANIFEST_BASENAME
+from repro.corpus.matrix import GOLDEN_BASENAME, compare_digest_tables
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+CORPUS_DIR = os.path.join(REPO_ROOT, "corpus", "small")
+MANIFEST_PATH = os.path.join(CORPUS_DIR, MANIFEST_BASENAME)
+GOLDEN_PATH = os.path.join(CORPUS_DIR, GOLDEN_BASENAME)
+
+chaos = pytest.mark.skipif(not os.environ.get("REPRO_CHAOS"),
+                           reason="set REPRO_CHAOS=1 for the full "
+                                  "36-cell matrix check")
+
+
+class TestCommittedCorpus:
+    def test_manifest_loads_and_covers_the_tier(self):
+        payload = load_corpus_manifest(MANIFEST_PATH)
+        assert payload["tier"] == "small"
+        assert len(payload["circuits"]) == 12
+
+    def test_committed_corpus_regenerates_byte_identically(self):
+        assert verify_corpus(MANIFEST_PATH) == []
+
+
+class TestCommittedGolden:
+    def test_golden_table_loads(self):
+        golden = load_digest_table(GOLDEN_PATH)
+        assert golden["tier"] == "small"
+        assert len(golden["cells"]) == 36
+        assert set(golden["statuses"].values()) == {"ok"}
+
+    def test_matrix_slice_matches_golden(self):
+        golden = load_digest_table(GOLDEN_PATH)
+        result = run_matrix("small", circuits=("cslow_a", "mesh_a"),
+                            scenarios=("shallow-both",))
+        golden = dict(golden)
+        golden["cells"] = {key: value
+                           for key, value in golden["cells"].items()
+                           if key in result.cells}
+        assert len(golden["cells"]) == 2
+        assert compare_digest_tables(result.digest_table(), golden) == []
+
+    @chaos
+    def test_full_matrix_matches_golden(self):
+        golden = load_digest_table(GOLDEN_PATH)
+        result = run_matrix("small", workers=2)
+        assert compare_digest_tables(result.digest_table(), golden) == []

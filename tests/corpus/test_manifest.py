@@ -1,0 +1,118 @@
+"""Corpus manifest generation, verification and tamper detection."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.corpus import (
+    circuit_sha256,
+    generate_corpus,
+    load_corpus_manifest,
+    verify_corpus,
+    write_corpus,
+)
+from repro.corpus.manifest import MANIFEST_BASENAME
+from repro.errors import ManifestError
+
+
+class TestGenerate:
+    def test_payload_is_deterministic(self):
+        a, emissions_a = generate_corpus("small")
+        b, emissions_b = generate_corpus("small")
+        assert a == b
+        assert emissions_a == emissions_b
+
+    def test_payload_covers_every_spec(self):
+        payload, emissions = generate_corpus("small")
+        assert len(payload["circuits"]) == 12
+        for name, entry in payload["circuits"].items():
+            assert entry["file"] in emissions
+            assert entry["sha256"] == \
+                circuit_sha256(emissions[entry["file"]])
+            assert entry["stats"]["gates"] > 0
+
+    def test_checksum_seals_the_payload(self):
+        payload, _ = generate_corpus("small")
+        assert payload["checksum"].startswith("sha256:")
+
+    def test_cross_process_payload_is_identical(self):
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir
+        script = ("import json; from repro.corpus import generate_corpus; "
+                  "print(json.dumps(generate_corpus('small')[0], "
+                  "sort_keys=True))")
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, check=True,
+                              env=env)
+        theirs = json.loads(proc.stdout)
+        ours, _ = generate_corpus("small")
+        assert theirs == ours
+
+
+class TestWriteAndVerify:
+    def test_written_corpus_verifies_clean(self, tmp_path):
+        write_corpus("small", tmp_path)
+        manifest_path = tmp_path / MANIFEST_BASENAME
+        assert verify_corpus(manifest_path) == []
+
+    def test_loaded_manifest_matches_payload(self, tmp_path):
+        payload = write_corpus("small", tmp_path)
+        loaded = load_corpus_manifest(tmp_path / MANIFEST_BASENAME)
+        assert loaded == payload
+
+    def test_flipped_file_byte_is_caught(self, tmp_path):
+        payload = write_corpus("small", tmp_path)
+        victim = payload["circuits"]["pipe_a"]
+        file_path = tmp_path / victim["file"]
+        raw = bytearray(file_path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        file_path.write_bytes(bytes(raw))
+        problems = verify_corpus(tmp_path / MANIFEST_BASENAME)
+        assert any("pipe_a" in p and "hashes to" in p for p in problems)
+
+    def test_missing_file_is_caught(self, tmp_path):
+        write_corpus("small", tmp_path)
+        os.remove(tmp_path / "mesh_a.bench")
+        problems = verify_corpus(tmp_path / MANIFEST_BASENAME)
+        assert any("mesh_a" in p and "cannot read" in p for p in problems)
+
+    def test_check_files_false_skips_disk(self, tmp_path):
+        write_corpus("small", tmp_path)
+        os.remove(tmp_path / "mesh_a.bench")
+        assert verify_corpus(tmp_path / MANIFEST_BASENAME,
+                             check_files=False) == []
+
+    def test_edited_manifest_fails_integrity(self, tmp_path):
+        write_corpus("small", tmp_path)
+        manifest_path = tmp_path / MANIFEST_BASENAME
+        payload = json.loads(manifest_path.read_text())
+        payload["circuits"]["pipe_a"]["seed"] = 999
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="integrity"):
+            load_corpus_manifest(manifest_path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ManifestError, match="not a corpus manifest"):
+            load_corpus_manifest(bogus)
+
+    def test_unreadable_json_rejected(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text("{not json")
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_corpus_manifest(bogus)
+
+    def test_future_version_rejected(self, tmp_path):
+        write_corpus("small", tmp_path)
+        manifest_path = tmp_path / MANIFEST_BASENAME
+        payload = json.loads(manifest_path.read_text())
+        payload["version"] = 99
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError, match="version"):
+            load_corpus_manifest(manifest_path)

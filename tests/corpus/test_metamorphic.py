@@ -1,0 +1,113 @@
+"""Metamorphic invariants asserted per corpus family.
+
+Compact members of every family (small enough for tier-1 wall-clock)
+are pushed through the same transformations the core metamorphic suite
+uses on random circuits:
+
+* renaming internal nets and reordering declarations never changes SER;
+* accepted retimings satisfy the register-conservation algebra
+  ``w_r(u,v) = w(u,v) + r(v) - r(u)`` on every edge and cycle;
+* c-slowing a base preserves stream-0 sequential behaviour.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import initialize
+from repro.corpus import CircuitSpec, TIERS, build_circuit
+from repro.corpus.families import FAMILIES, resolve_library
+from repro.graph.retiming_graph import RetimingGraph
+from repro.netlist.validate import validate_circuit
+from repro.pipeline import build_problem, compute_observability, run_solver
+from repro.retime.cslow import check_cslow_equivalence
+from repro.retime.verify import check_cycle_weights
+from repro.ser.analysis import analyze_ser
+
+from tests.core.test_metamorphic import rename_internal, reorder_elements
+
+SIM = dict(n_frames=3, n_patterns=64, seed=0)
+
+#: One compact representative per generator family.
+COMPACT = (
+    CircuitSpec("meta_pipe", "pipeline",
+                {"stages": 3, "width": 4}, seed=0),
+    CircuitSpec("meta_fsm", "fsm_datapath",
+                {"state_bits": 3, "stages": 2, "width": 4}, seed=1),
+    CircuitSpec("meta_tree", "tree",
+                {"leaves": 16, "reg_every": 2}, seed=2),
+    CircuitSpec("meta_mesh", "mesh",
+                {"rows": 3, "cols": 4}, seed=3),
+    CircuitSpec("meta_rand", "random",
+                {"n_gates": 36, "n_dffs": 12, "n_inputs": 4,
+                 "n_outputs": 4}, seed=4),
+)
+
+
+def ser_total(circuit) -> float:
+    graph = RetimingGraph.from_circuit(circuit)
+    init = initialize(graph, circuit.library.setup_time,
+                      circuit.library.hold_time, 0.10)
+    return analyze_ser(circuit, init.phi, **SIM).total
+
+
+class TestRepresentationInvariance:
+    @pytest.mark.parametrize("spec", COMPACT, ids=lambda s: s.family)
+    def test_rename_leaves_ser_unchanged(self, spec):
+        circuit = build_circuit(spec)
+        renamed = rename_internal(circuit)
+        validate_circuit(renamed)
+        assert circuit.fingerprint() != renamed.fingerprint()
+        # identical insertion order -> identical float schedules: exact
+        assert ser_total(circuit) == ser_total(renamed)
+
+    @pytest.mark.parametrize("spec", COMPACT, ids=lambda s: s.family)
+    def test_reorder_leaves_ser_unchanged(self, spec):
+        circuit = build_circuit(spec)
+        shuffled = reorder_elements(circuit)
+        validate_circuit(shuffled)
+        # same per-element terms, different summation order
+        assert math.isclose(ser_total(circuit), ser_total(shuffled),
+                            rel_tol=1e-9)
+
+
+class TestRetimedWeightAlgebra:
+    @pytest.mark.parametrize("spec", COMPACT, ids=lambda s: s.family)
+    def test_accepted_retiming_conserves_registers(self, spec):
+        circuit = build_circuit(spec)
+        graph = RetimingGraph.from_circuit(circuit)
+        setup = circuit.library.setup_time
+        hold = circuit.library.hold_time
+        obs, _ = compute_observability(circuit, **SIM)
+        init = initialize(graph, setup, hold, 0.10)
+        problem = build_problem(graph, init, obs, SIM["n_patterns"],
+                                setup, hold)
+        solved = run_solver(problem, init.r0, "minobswin")
+        r = solved.r
+        assert r[0] == 0
+        weights = graph.retimed_weights(r)
+        for eidx, edge in enumerate(graph.edges):
+            w_r = edge.w + int(r[edge.v]) - int(r[edge.u])
+            assert w_r == int(weights[eidx])
+            assert w_r >= 0
+        graph.validate_retiming(r)
+        assert check_cycle_weights(graph, r)
+
+
+class TestCSlowEquivalence:
+    @pytest.mark.parametrize(
+        "spec", [s for s in TIERS["small"] if s.family == "cslow"],
+        ids=lambda s: s.name)
+    def test_small_tier_cslow_members_preserve_stream_zero(self, spec):
+        slowed = build_circuit(spec)
+        # rebuild the base exactly as _build_cslow does: same rng stream,
+        # consumed only by the base build
+        base = FAMILIES[spec.params["base_family"]].build(
+            f"{spec.name}_core", spec.params["base_params"],
+            np.random.default_rng(spec.seed),
+            resolve_library(spec.library))
+        c = spec.params["c"]
+        assert slowed.n_dffs == c * base.n_dffs
+        assert check_cslow_equivalence(base, slowed, c, cycles=12,
+                                       n_patterns=32, seed=0)

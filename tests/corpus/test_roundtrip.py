@@ -1,0 +1,96 @@
+"""Round-trip and corruption properties of corpus emissions.
+
+Two claims per corpus member:
+
+* emit -> parse -> re-emit is byte-identical (the emitters are
+  canonical and the parsers lossless for generated circuits);
+* corrupting emitted bytes never crashes the parsers with anything but
+  a located :class:`NetlistError` -- a seeded byte-flip fuzz over every
+  small-tier file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import TIERS, build_circuit, emit_circuit
+from repro.corpus.manifest import parse_emission
+from repro.errors import NetlistError, ParseError
+from repro.netlist import load_bench, load_blif, validate_circuit
+
+SMALL = {spec.name: spec for spec in TIERS["small"]}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", TIERS["small"],
+                             ids=lambda s: s.name)
+    def test_emit_parse_reemit_is_byte_identical(self, spec):
+        first = emit_circuit(spec)
+        parsed = parse_emission(spec, first)
+        validate_circuit(parsed)
+        second = emit_circuit(spec, parsed)
+        assert second == first
+
+    @pytest.mark.parametrize("spec", TIERS["small"],
+                             ids=lambda s: s.name)
+    def test_parse_preserves_structure(self, spec):
+        circuit = build_circuit(spec)
+        parsed = parse_emission(spec, emit_circuit(spec, circuit))
+        assert parsed.stats() == circuit.stats()
+        assert sorted(parsed.inputs) == sorted(circuit.inputs)
+        assert sorted(parsed.outputs) == sorted(circuit.outputs)
+
+
+class TestCorruption:
+    """Seeded byte-flip fuzz: parsers fail loudly, never wrongly."""
+
+    def _fuzz_one(self, spec, tmp_path, n_mutations=40):
+        text = emit_circuit(spec)
+        raw = text.encode("utf-8")
+        rng = np.random.default_rng(spec.seed)
+        target = tmp_path / spec.filename
+        for _ in range(n_mutations):
+            corrupted = bytearray(raw)
+            for _ in range(int(rng.integers(1, 4))):
+                pos = int(rng.integers(0, len(corrupted)))
+                corrupted[pos] = int(rng.integers(0, 256))
+            target.write_bytes(bytes(corrupted))
+            try:
+                if spec.fmt == "bench":
+                    circuit = load_bench(target)
+                else:
+                    circuit = load_blif(target)
+            except NetlistError as exc:
+                # Parse failures must carry the offending file's path so
+                # a corrupted corpus member is locatable from the error.
+                if isinstance(exc, ParseError):
+                    assert exc.path == str(target)
+                continue
+            except UnicodeDecodeError:
+                continue  # flipped into invalid UTF-8: also a loud failure
+            # Benign mutation (comment text, a name character...): the
+            # parse must still yield a structurally valid circuit.
+            validate_circuit(circuit)
+
+    @pytest.mark.parametrize("name", ["pipe_a", "fsmdp_a", "tree_b",
+                                      "mesh_a", "rand_a", "cslow_b"])
+    def test_bench_byte_flips_fail_loudly(self, name, tmp_path):
+        self._fuzz_one(SMALL[name], tmp_path)
+
+    @pytest.mark.parametrize("name", ["pipe_b", "fsmdp_b", "tree_a",
+                                      "rand_b", "cslow_a"])
+    def test_blif_byte_flips_fail_loudly(self, name, tmp_path):
+        self._fuzz_one(SMALL[name], tmp_path)
+
+    def test_truncation_fails_loudly(self, tmp_path):
+        spec = SMALL["pipe_a"]
+        text = emit_circuit(spec)
+        target = tmp_path / spec.filename
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            cut = int(rng.integers(1, len(text) - 1))
+            target.write_text(text[:cut])
+            try:
+                circuit = load_bench(target)
+            except NetlistError:
+                continue
+            validate_circuit(circuit)
