@@ -9,9 +9,9 @@ in-process sequencing).  Reported per point:
 * ``peak_rss_mb`` -- the child's peak resident set;
 * ``gates`` -- actual size (asserted within 25% of the target).
 
-The ``random`` family is excluded by its registry flag (``scalable =
-False``: the O(gates x dffs) register-pool rebuild prices it out of
-10^5 until the flat-core refactor, ROADMAP item 1).
+Every registered family is scalable now that the ``random`` family's
+register-eligibility pool is incremental (the old O(gates x dffs)
+per-gate rescan priced it out of 10^5; ROADMAP item 1).
 
 Run with ``pytest benchmarks/bench_corpus_scaling.py --benchmark-only``.
 """
@@ -49,6 +49,8 @@ def _shape(family: str, n: int) -> dict:
         side = max(2, round(math.sqrt(n)))
         return {"c": 2, "base_family": "mesh",
                 "base_params": {"rows": side, "cols": side}}
+    if family == "random":
+        return {"n_gates": n, "n_dffs": max(8, n // 12)}
     raise ValueError(family)
 
 

@@ -30,6 +30,8 @@ across processes and platforms (see :mod:`repro.corpus`).
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from ..errors import NetlistError
@@ -152,29 +154,39 @@ def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
     # its register-merge moves -- without this, random wiring leaves
     # almost no freedom.
     unread: list[str] = []  # nets with no reader yet (keeps logic alive)
-    consumed_dffs: set[str] = set()  # registers already read (fanout 1)
+    # Register-read eligibility, incrementally: register ``di`` becomes
+    # readable at gate 0 (feedback) or one past its driver (pipeline).
+    # A flat arrival index plus a sorted eligible pool replaces the old
+    # per-gate rescan of every register -- O(gates + dffs log dffs)
+    # instead of O(gates * dffs) -- while reproducing the exact ordered
+    # pool (ascending register index) the rescan built, so the RNG
+    # draw sequence, and therefore every emitted netlist, is
+    # byte-identical to the quadratic version.
+    arrival = np.where(is_feedback, 0, dff_sources + 1)
+    arrivals_by_gate: dict[int, list[int]] = {}
+    for di in np.argsort(arrival, kind="stable").tolist():
+        arrivals_by_gate.setdefault(int(arrival[di]), []).append(di)
+    eligible: list[int] = []  # readable register indices, ascending
     for gi, gname in enumerate(gate_names):
+        for di in arrivals_by_gate.pop(gi, ()):
+            bisect.insort(eligible, di)
         n_in = int(np.clip(round(rng.normal(avg_fanin, 0.9)), 1, 4))
         window_start = max(0, gi - locality)
         pool: list[str] = list(gate_names[window_start:gi])
         if gi < pi_zone or not pool:
             pool.extend(inputs)
-        dff_pool = [dname for di, dname in enumerate(dff_names)
-                    if dname not in consumed_dffs
-                    and (is_feedback[di] or dff_sources[di] < gi)]
 
         chosen_nets: list[str] = []
         taken: set[str] = set()
-        if gi % decode_stride == 0 and len(dff_pool) >= 2:
+        if gi % decode_stride == 0 and len(eligible) >= 2:
             # State-decode gate: merge two register outputs.  The
             # registers are consumed (fanout 1) so the Leiserson-Saxe
             # per-edge register model of the paper's objective (eq. 5)
             # coincides with the physical register count.
-            picks = sorted(rng.choice(len(dff_pool), size=2,
+            picks = sorted(rng.choice(len(eligible), size=2,
                                       replace=False), reverse=True)
             for p in picks:
-                name = dff_pool.pop(int(p))
-                consumed_dffs.add(name)
+                name = dff_names[eligible.pop(int(p))]
                 chosen_nets.append(name)
                 taken.add(name)
             # Exactly the two registers: any extra (unregistered) input
@@ -188,9 +200,9 @@ def random_sequential_circuit(name: str, n_gates: int, n_dffs: int,
                 taken.add(candidate)
                 break
         while len(chosen_nets) < n_in:
-            if dff_pool and rng.random() < dff_read_prob:
-                pick = dff_pool.pop(int(rng.integers(0, len(dff_pool))))
-                consumed_dffs.add(pick)
+            if eligible and rng.random() < dff_read_prob:
+                pick = dff_names[eligible.pop(
+                    int(rng.integers(0, len(eligible))))]
             else:
                 pick = pool[int(rng.integers(0, len(pool)))]
             if pick in taken:

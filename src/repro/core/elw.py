@@ -106,6 +106,15 @@ def circuit_elws(circuit: Circuit, phi: float, setup: float = 0.0,
 def _circuit_elws_impl(circuit: Circuit, phi: float, setup: float,
                        hold: float) -> dict[str, IntervalSet]:
     window = latching_window(phi, setup, hold)
+
+    from ..flatcore import engine as flat_engine
+
+    flat = flat_engine.flat_for(circuit)
+    if flat is not None:
+        from ..flatcore.kernels import circuit_elws_flat
+
+        return circuit_elws_flat(flat, window)
+
     po_nets = set(circuit.outputs)
 
     # Readers per net.

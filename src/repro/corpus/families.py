@@ -165,11 +165,10 @@ FAMILIES: dict[str, Family] = {
                "registered reduction tree with root feedback"),
         Family("mesh", _build_mesh,
                "systolic 2-D mesh with registered torus wrap"),
-        # O(n_gates * n_dffs): the per-gate register-pool rebuild keeps
-        # it out of the 10^5-gate tier until the flat-core refactor.
+        # Generation is O(gates + dffs log dffs) since the incremental
+        # register-eligibility pool replaced the per-gate rescan.
         Family("random", _build_random,
-               "locality-windowed random sequential circuit",
-               scalable=False),
+               "locality-windowed random sequential circuit"),
         Family("cslow", _build_cslow,
                "c-slowed core of another family (register-rich)"),
     )

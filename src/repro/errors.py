@@ -204,6 +204,18 @@ class AnalysisError(ReproError):
     """SER / observability analysis failed."""
 
 
+class FlatCoreError(ReproError):
+    """A flat-core arena is invalid or could not be built.
+
+    Raised by :func:`repro.flatcore.arena.lower` when a circuit cannot
+    be lowered (e.g. a gate reads an undefined net) and by
+    :func:`repro.flatcore.arena.validate_flat` when an arena fails a
+    structural or cross-check invariant.  Messages always locate the
+    offending element (node index and net name) so a corrupted arena is
+    a loud, placed error -- never a silent wrong result.
+    """
+
+
 class TelemetryError(ReproError):
     """A telemetry operation failed (bad trace file, metric kind clash).
 

@@ -95,6 +95,9 @@ class Circuit:
         self._input_set: set[str] = set()
         self._topo_cache: list[str] | None = None
         self._fanout_cache: dict[str, list[str]] | None = None
+        # Lowered flat-core arena (repro.flatcore), memoized per structure.
+        self._flat_cache: object | None = None
+        self._flat_failed: bool = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -139,6 +142,8 @@ class Circuit:
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._fanout_cache = None
+        self._flat_cache = None
+        self._flat_failed = False
 
     # ------------------------------------------------------------------
     # Structure queries

@@ -195,6 +195,21 @@ def _analyze_ser_impl(circuit: Circuit, phi: float, setup: float,
         derate = electrical_derating(circuit, tau=electrical_tau,
                                      latch_width=latch_width)
 
+    if derate is None and rate_model.name in ("library", "uniform", "area"):
+        from ..flatcore import engine as flat_engine
+
+        flat = flat_engine.flat_for(circuit)
+        if flat is not None:
+            from ..flatcore.kernels import ser_totals_flat
+
+            per_element, comb, reg, no_timing = ser_totals_flat(
+                flat, obs_full, elws, rate_model.name, rate_model.unit,
+                rate_model.register_rate(circuit), phi)
+            return SerAnalysis(total=comb + reg, comb=comb, reg=reg,
+                               total_no_timing=no_timing,
+                               per_element=per_element,
+                               phi=phi, setup=setup, hold=hold)
+
     per_element: dict[str, float] = {}
     comb = reg = 0.0
     no_timing = 0.0

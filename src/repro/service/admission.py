@@ -48,7 +48,10 @@ MAX_TENANTS = 1024
 #: Request fields accepted by ``POST /jobs``.
 _ALLOWED_FIELDS = ("circuit", "netlist", "name", "tenant", "scale", "seed",
                    "frames", "patterns", "epsilon", "algorithms",
-                   "maximal_start", "restart")
+                   "maximal_start", "restart", "core")
+
+#: Analysis-engine choices a job spec may request (digest-invariant).
+_CORES = ("flat", "object", "auto")
 
 _ALGORITHMS = ("minobs", "minobswin")
 
@@ -213,6 +216,12 @@ def validate_payload(payload: Any) -> dict[str, Any]:
             if not isinstance(payload[flag], bool):
                 raise _reject(f"{flag!r} must be a boolean", field=flag)
             spec[flag] = payload[flag]
+    if "core" in payload:
+        core = payload["core"]
+        if not isinstance(core, str) or core not in _CORES:
+            raise _reject(f"'core' must be one of {list(_CORES)}",
+                          field="core")
+        spec["core"] = core
     return spec
 
 

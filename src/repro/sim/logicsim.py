@@ -93,6 +93,14 @@ def simulate_comb(circuit: Circuit, values: Mapping[str, np.ndarray],
     dict
         Signature for every net (inputs and flip-flop outputs included).
     """
+    from ..flatcore import engine as flat_engine
+
+    flat = flat_engine.flat_for(circuit)
+    if flat is not None:
+        from ..flatcore.kernels import simulate_comb_flat
+
+        return simulate_comb_flat(flat, values, n_patterns, force)
+
     from .bitvec import trim
 
     result: dict[str, np.ndarray] = {}

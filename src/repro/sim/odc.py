@@ -180,6 +180,24 @@ def _observability_impl(circuit: Circuit, n_frames: int, n_patterns: int,
     rng = np.random.default_rng(seed)
     if warmup is None:
         warmup = n_frames
+
+    from ..flatcore import engine as flat_engine
+
+    flat = flat_engine.flat_for(circuit)
+    if flat is not None:
+        from ..flatcore.kernels import observability_flat, record_frames_flat
+
+        # The flat path records its frames matrix-natively (same RNG
+        # stream, bit-identical values) -- per-net frame dicts never
+        # materialize.
+        flat_frames = record_frames_flat(flat, n_frames, n_patterns,
+                                         warmup, rng)
+        obs, kept = observability_flat(flat, flat_frames, n_frames,
+                                       n_patterns, keep_masks)
+        return ObservabilityResult(obs=obs, n_patterns=n_patterns,
+                                   n_frames=n_frames, method="backward",
+                                   masks=kept)
+
     frames, _, _, _ = _record_frames(circuit, n_frames, n_patterns, warmup, rng)
 
     po_nets = set(circuit.outputs)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..netlist.circuit import Circuit
-from .bitvec import all_zeros, from_bits, random_patterns
+from .bitvec import all_ones, all_zeros, random_patterns
 from .logicsim import simulate_comb
 
 
@@ -30,7 +30,7 @@ def reset_state(circuit: Circuit, n_patterns: int) -> dict[str, np.ndarray]:
     state: dict[str, np.ndarray] = {}
     for name, dff in circuit.dffs.items():
         if dff.init:
-            state[name] = from_bits(np.ones(n_patterns, dtype=np.uint64))
+            state[name] = all_ones(n_patterns)
         else:
             state[name] = all_zeros(n_patterns)
     return state

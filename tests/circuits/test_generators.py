@@ -223,3 +223,52 @@ class TestSkewedLibrary:
         c = mesh_circuit(rows=3, cols=3, seed=0, library=lib)
         validate_circuit(c)
         assert c.library is lib
+
+
+class TestRandomPoolRefactorRegression:
+    """The incremental register-eligibility pool is stream-identical.
+
+    ``random_sequential_circuit`` replaced its O(gates x dffs) per-gate
+    register rescan with an arrival-scheduled sorted pool.  The refactor
+    must not move a single RNG draw: these hashes pin the emitted bytes
+    of every random-family corpus member (the small-tier ones equal the
+    committed manifest entries; ``rand_m`` extends the pin to a size
+    where the old and new pools diverge first if a draw ever shifts).
+    """
+
+    PINNED = {
+        ("small", "rand_a"): "sha256:8cb71d9c64688e313f2b66cfa02612f8"
+                             "f3f095c640082f6740220b9009e2a7f6",
+        ("small", "rand_b"): "sha256:912f65213a3c546d6bab40d2e518ce09"
+                             "bb9b6bd92485d1aee5fc52e2bfd2207a",
+        ("medium", "rand_m"): "sha256:4a2c316f100e6bd19682a7eca79c9bba"
+                              "575b1afda2bc0c5f5a921b58e455d176",
+    }
+
+    @pytest.mark.parametrize("tier,name", sorted(PINNED))
+    def test_random_family_emissions_are_pinned(self, tier, name):
+        from repro.corpus import (circuit_sha256, emit_circuit,
+                                  tier_specs)
+
+        spec = next(s for s in tier_specs(tier) if s.name == name)
+        assert circuit_sha256(emit_circuit(spec)) == \
+            self.PINNED[(tier, name)]
+
+    def test_small_tier_pins_match_the_committed_manifest(self):
+        import os
+
+        from repro.corpus import load_corpus_manifest
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        payload = load_corpus_manifest(
+            os.path.join(root, "corpus", "small",
+                         "corpus-manifest.json"))
+        for (tier, name), digest in self.PINNED.items():
+            if tier == "small":
+                assert payload["circuits"][name]["sha256"] == digest
+
+    def test_random_family_is_scalable_now(self):
+        from repro.corpus import FAMILIES
+
+        assert FAMILIES["random"].scalable

@@ -1,0 +1,1 @@
+"""Differential equivalence layer for the flat CSR analysis core."""

@@ -1,0 +1,143 @@
+"""Property tests: CSR invariants of the arena builder.
+
+Hypothesis drives the *corpus generators themselves* (family, shape
+parameters, seed) so every example is a structurally honest circuit --
+feed-forward pipelines, trees with feedback, torus meshes, windowed
+random DAGs -- rather than a synthetic graph the lowering was written
+against.  For each generated circuit the flat arena must satisfy:
+
+* CSR shape: monotone ``indptr`` starting at 0, every index in bounds,
+  fanin row widths equal to the recorded arities;
+* transpose consistency: the fanout CSR is exactly the fanin CSR (plus
+  register D-reads) read backwards, as (src, reader) multisets;
+* level monotonicity: every fanin edge strictly increases topological
+  level, and the topo order visits levels non-decreasingly;
+* no aliasing: simulation output signatures of distinct nets never
+  share memory (a vectorized kernel must not hand out overlapping
+  views).
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import CircuitSpec, build_circuit
+from repro.flatcore import lower, validate_flat
+from repro.flatcore.kernels import simulate_comb_flat
+from repro.sim.bitvec import random_patterns
+
+_PARAMS = {
+    "pipeline": st.fixed_dictionaries(
+        {"stages": st.integers(1, 6), "width": st.integers(2, 10)}),
+    "fsm_datapath": st.fixed_dictionaries(
+        {"state_bits": st.integers(2, 5), "stages": st.integers(1, 4),
+         "width": st.integers(2, 8)}),
+    "tree": st.fixed_dictionaries(
+        {"leaves": st.sampled_from([4, 8, 16, 32, 64]),
+         "reg_every": st.integers(1, 4)}),
+    "mesh": st.fixed_dictionaries(
+        {"rows": st.integers(2, 6), "cols": st.integers(2, 6)}),
+    "random": st.fixed_dictionaries(
+        {"n_gates": st.integers(10, 120), "n_dffs": st.integers(2, 20),
+         "feedback_fraction": st.sampled_from([0.0, 0.5, 1.0])}),
+}
+
+
+@st.composite
+def corpus_flats(draw):
+    family = draw(st.sampled_from(sorted(_PARAMS)))
+    params = draw(_PARAMS[family])
+    seed = draw(st.integers(0, 2**16))
+    library = draw(st.sampled_from(["generic", "unit"]))
+    spec = CircuitSpec(name=f"prop_{family}", family=family,
+                       params=params, seed=seed, library=library)
+    circuit = build_circuit(spec)
+    return circuit, lower(circuit)
+
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@given(corpus_flats())
+@_SETTINGS
+def test_validator_accepts_every_generated_circuit(built):
+    circuit, flat = built
+    validate_flat(flat, circuit)
+
+
+@given(corpus_flats())
+@_SETTINGS
+def test_csr_bounds_and_widths(built):
+    _, flat = built
+    for indptr, data in ((flat.fanin_indptr, flat.fanin),
+                         (flat.fanout_indptr, flat.fanout),
+                         (flat.reader_indptr, flat.reader)):
+        assert indptr[0] == 0
+        assert indptr[-1] == len(data)
+        assert np.all(np.diff(indptr) >= 0)
+        if len(data):
+            assert data.min() >= 0
+            assert data.max() < flat.n_nodes
+    widths = np.diff(flat.fanin_indptr)
+    assert np.array_equal(widths, flat.arity.astype(widths.dtype))
+
+
+@given(corpus_flats())
+@_SETTINGS
+def test_fanout_is_the_fanin_transpose(built):
+    _, flat = built
+    forward = Counter()
+    for g in range(flat.n_gates):
+        node = flat.n_inputs + g
+        lo, hi = flat.fanin_indptr[g], flat.fanin_indptr[g + 1]
+        for src in flat.fanin[lo:hi].tolist():
+            forward[(src, node)] += 1
+    for d, src in enumerate(flat.dff_d.tolist()):
+        forward[(src, flat.n_inputs + flat.n_gates + d)] += 1
+    backward = Counter()
+    for src in range(flat.n_nodes):
+        lo, hi = flat.fanout_indptr[src], flat.fanout_indptr[src + 1]
+        for reader in flat.fanout[lo:hi].tolist():
+            backward[(src, reader)] += 1
+    assert forward == backward
+
+
+@given(corpus_flats())
+@_SETTINGS
+def test_levels_strictly_increase_along_edges(built):
+    _, flat = built
+    gate_lo = flat.n_inputs
+    gate_hi = flat.n_inputs + flat.n_gates
+    for g in range(flat.n_gates):
+        lo, hi = flat.fanin_indptr[g], flat.fanin_indptr[g + 1]
+        for src in flat.fanin[lo:hi].tolist():
+            if gate_lo <= src < gate_hi:
+                assert flat.level[src - gate_lo] < flat.level[g]
+    topo_levels = flat.level[flat.topo - gate_lo]
+    assert np.all(np.diff(topo_levels) >= 0)
+    assert sorted(flat.topo.tolist()) == list(range(gate_lo, gate_hi))
+
+
+@given(corpus_flats())
+@_SETTINGS
+def test_simulation_signatures_never_alias(built):
+    circuit, flat = built
+    n_patterns = 64
+    rng = np.random.default_rng(0)
+    values = {name: random_patterns(n_patterns, rng)
+              for name in [*circuit.inputs, *circuit.dffs]}
+    result = simulate_comb_flat(flat, values, n_patterns)
+    nets = list(result)
+    assert len(nets) == flat.n_nodes
+    assert set(nets) == set(flat.names)
+    # Pairwise overlap is O(n^2); a strided sample of the nets plus
+    # both endpoints keeps it honest and fast.
+    if len(nets) > 40:
+        step = len(nets) // 40 + 1
+        nets = list(dict.fromkeys(nets[::step] + [nets[-1]]))
+    arrays = [result[net] for net in nets]
+    for i in range(len(arrays)):
+        for j in range(i + 1, len(arrays)):
+            assert not np.shares_memory(arrays[i], arrays[j]), \
+                (nets[i], nets[j])
