@@ -82,6 +82,19 @@ def test_resilient_traced(benchmark, tmp_path):
     assert all(row["status"] == "ok" for row in rows)
 
 
+def test_resilient_traced_and_profiled(benchmark, tmp_path):
+    from repro.telemetry.profiler import StackProfiler
+
+    def run():
+        with StackProfiler(interval=0.01):
+            return _resilient_suite(False, str(tmp_path / "prof.jsonl"))
+
+    t0 = time.perf_counter()
+    rows = once(benchmark, run)
+    _TIMES["profiled"] = time.perf_counter() - t0
+    assert all(row["status"] == "ok" for row in rows)
+
+
 def test_overhead_report(capsys):
     if "bare" not in _TIMES or "resilient" not in _TIMES:
         pytest.skip("timing tests did not run")
@@ -101,6 +114,11 @@ def test_overhead_report(capsys):
             print(f"span tracing cost: "
                   f"{100.0 * (traced - resilient) / resilient:+.2f}% "
                   f"over resilient ({traced:.2f}s total)")
+        profiled = _TIMES.get("profiled")
+        if profiled is not None:
+            print(f"tracing + 100 Hz profiler cost: "
+                  f"{100.0 * (profiled - resilient) / resilient:+.2f}% "
+                  f"over resilient ({profiled:.2f}s total)")
     # the executor wrapper (which includes the tracing-off telemetry
     # instrumentation: one None test per span point, always-on metric
     # counters) must be close to free; allow slack well above the 2%

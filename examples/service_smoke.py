@@ -13,9 +13,19 @@ subprocess on an ephemeral port:
    records on disk;
 5. restart: the queue directory is picked up and every job ends done.
 
-Run:  PYTHONPATH=src python examples/service_smoke.py
+With ``--trace`` the service additionally runs with its whole
+observability plane on (``--trace``/``--access-log``/``--profile``) and
+the script asserts, after the drain, that every completed job produced
+one merged span tree (admission -> queue wait -> lease -> execute ->
+persist under the durable ``http.request`` root), that the access log
+joins to the traces, and that the profiler wrote a loadable
+collapsed-stack file.  ``--artifacts DIR`` keeps the observability
+outputs for upload (default: inside the temp queue dir).
+
+Run:  PYTHONPATH=src python examples/service_smoke.py [--trace]
 """
 
+import argparse
 import http.client
 import json
 import os
@@ -25,21 +35,34 @@ import sys
 import tempfile
 import time
 
+from repro.service.accesslog import read_access_log
 from repro.service.app import read_endpoint
 from repro.service.jobs import load_job
 from repro.service.workers import ExecutionDefaults, execute_job
+from repro.telemetry.profiler import is_profile_file, load_profile
+from repro.telemetry.traceview import (filter_trace, load_trace,
+                                       summarize_trace)
 
 SCALE = 0.004
 SPECS = [{"circuit": name, "scale": SCALE, "seed": 0, "frames": 2,
           "patterns": 64} for name in ("s13207", "s15850.1")]
 
+#: Lifecycle spans every completed job's merged tree must contain,
+#: parented to the job's durable root span.
+LIFECYCLE_SPANS = ("queue.wait", "job.lease", "job.execute",
+                   "job.persist")
 
-def serve_argv(root, drain_after_idle=False):
+
+def serve_argv(root, drain_after_idle=False, observability=None):
     argv = [sys.executable, "-m", "repro.cli", "serve", "--root", root,
             "--port", "0", "--pool", "2", "--scale", str(SCALE),
             "--lease-seconds", "30"]
     if drain_after_idle:
         argv += ["--drain-after-idle", "--idle-grace", "1.0"]
+    if observability:
+        argv += ["--trace", observability["trace"],
+                 "--access-log", observability["access"],
+                 "--profile", observability["profile"]]
     return argv
 
 
@@ -62,7 +85,7 @@ def request(endpoint, method, path, body=None):
 def submit(endpoint, spec):
     status, payload = request(endpoint, "POST", "/jobs", body=spec)
     assert status == 202, (status, payload)
-    return payload["job"]["id"]
+    return payload["job"]
 
 
 def wait_done(endpoint, job_id, timeout=300.0):
@@ -89,9 +112,78 @@ def disk_states(root):
     return states
 
 
-def main():
+def check_observability(observability, completed):
+    """Assert the drained service's trace/access-log/profile outputs.
+
+    ``completed`` are job records (dicts from the 202 responses) whose
+    results were polled to ``done`` before the drain: each must have
+    produced one merged span tree under its durable root span.
+    """
+    trace = load_trace(observability["trace"])
+    assert trace.headers, "service trace has no header"
+    for job in completed:
+        job_id, trace_id, span_id = \
+            job["id"], job["trace_id"], job["span_id"]
+        assert trace_id and span_id, f"{job_id} has no trace context"
+        tree = filter_trace(trace, job_id)
+        by_name = {}
+        for span in tree.spans:
+            by_name.setdefault(span["name"], []).append(span)
+        roots = [s for s in by_name.get("http.request", [])
+                 if s["id"] == span_id]
+        assert roots, f"{job_id}: no http.request root span {span_id}"
+        assert roots[0]["trace"] == trace_id
+        for name in LIFECYCLE_SPANS:
+            spans = by_name.get(name, [])
+            assert spans, f"{job_id}: no {name} span"
+            assert all(s["parent"] == span_id and s["trace"] == trace_id
+                       for s in spans), f"{job_id}: {name} misparented"
+        assert any(s["name"].startswith("stage:") for s in tree.spans), \
+            f"{job_id}: no pipeline stage spans under execution"
+    summary = summarize_trace(trace)
+    assert "service jobs" in summary, "summarize lost the job section"
+    print(f"  span trees OK for {len(completed)} jobs")
+
+    entries = read_access_log(observability["access"])
+    posts = [e for e in entries if e.get("route") == "post_jobs"
+             and e.get("status") == 202]
+    assert len(posts) >= len(completed), \
+        f"access log has {len(posts)} accepted POSTs"
+    by_job = {e.get("job"): e for e in posts}
+    for job in completed:
+        entry = by_job.get(job["id"])
+        assert entry and entry.get("trace") == job["trace_id"], \
+            f"access log does not join to {job['id']}"
+    print(f"  access log joins to traces ({len(entries)} lines)")
+
+    assert is_profile_file(observability["profile"]), \
+        "profiler output is not a collapsed-stack profile"
+    profile = load_profile(observability["profile"])
+    assert profile["total"] > 0, "profiler collected no samples"
+    print(f"  profile OK ({profile['total']} collapsed-stack samples)")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="store_true",
+                        help="run the service with tracing, access "
+                             "logging and the profiler on, and assert "
+                             "the merged span trees after the drain")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="directory for the observability outputs")
+    args = parser.parse_args(argv)
+
     root = tempfile.mkdtemp(prefix="repro-service-smoke-")
     print(f"queue directory: {root}")
+    observability = None
+    if args.trace:
+        artifacts = args.artifacts or os.path.join(root, "observability")
+        os.makedirs(artifacts, exist_ok=True)
+        observability = {
+            "trace": os.path.join(artifacts, "serve-trace.jsonl"),
+            "access": os.path.join(artifacts, "access.jsonl"),
+            "profile": os.path.join(artifacts, "serve.prof")}
+        print(f"observability artifacts: {artifacts}")
 
     print("reference digests (clean in-process runs) ...")
     references = {}
@@ -99,25 +191,29 @@ def main():
         result = execute_job(spec, ExecutionDefaults(scale=SCALE))
         references[result["name"]] = result["digest"]
 
-    proc = subprocess.Popen(serve_argv(root))
+    proc = subprocess.Popen(serve_argv(root, observability=observability))
+    completed = []
     try:
         endpoint = read_endpoint(root, timeout=15.0)
         print(f"service up on {endpoint['host']}:{endpoint['port']}")
 
         cold_start = time.monotonic()
         jobs = [submit(endpoint, spec) for spec in SPECS]
-        for spec, job_id in zip(SPECS, jobs):
-            result = wait_done(endpoint, job_id)
+        for spec, job in zip(SPECS, jobs):
+            result = wait_done(endpoint, job["id"])
             assert result["digest"] == references[result["name"]], (
                 f"{result['name']}: service digest {result['digest']} != "
                 f"clean reference {references[result['name']]}")
             print(f"  {result['name']}: done, digest matches reference")
+        completed += jobs
         cold = time.monotonic() - cold_start
 
         print("warm resubmission (shared analysis cache) ...")
         warm_start = time.monotonic()
         for spec in SPECS:
-            wait_done(endpoint, submit(endpoint, spec))
+            job = submit(endpoint, spec)
+            wait_done(endpoint, job["id"])
+            completed.append(job)
         warm = time.monotonic() - warm_start
         status, metrics = request(endpoint, "GET", "/metrics")
         assert status == 200
@@ -128,7 +224,7 @@ def main():
         print(f"  cold {cold:.2f}s, warm {warm:.2f}s, {hits[0]}")
 
         print("SIGTERM mid-job ...")
-        straggler = submit(endpoint, SPECS[0])
+        straggler = submit(endpoint, SPECS[0])["id"]
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=120.0)
         assert code == 0, f"graceful drain exited {code}"
@@ -142,6 +238,10 @@ def main():
     assert not os.path.exists(os.path.join(root, "service.json"))
     print(f"  drained cleanly; straggler {straggler} is "
           f"{states[straggler]!r}")
+
+    if observability:
+        print("observability plane (span trees, access log, profile) ...")
+        check_observability(observability, completed)
 
     print("restart picks the queue back up ...")
     code = subprocess.run(serve_argv(root, drain_after_idle=True),

@@ -21,6 +21,11 @@ Subcommands
 ``serve``
     Run the resident retiming service: a durable job queue behind a
     small HTTP API (see :mod:`repro.service` and ``docs/service.md``).
+    ``--trace``/``--access-log``/``--profile`` turn on the service
+    observability plane (``docs/observability.md``).
+``ops``
+    Live terminal console over a running service: queue depth, worker
+    liveness, breaker state, per-endpoint latency quantiles.
 ``corpus``
     Generate, verify or list the synthetic workload corpus tiers
     (see :mod:`repro.corpus` and ``docs/corpus.md``).
@@ -36,7 +41,9 @@ stopped it, resume later" from real failures.
 
 ``table1``, ``chaos`` and ``matrix`` accept ``--trace``/``--trace-dir``
 (structured span trace of the run) and ``--metrics-out``
-(metrics-registry dump).
+(metrics-registry dump); ``table1`` and ``serve`` additionally accept
+``--profile`` (periodic stack-sampling profiler, rendered by ``trace
+flame``).
 
 Every command honours the ``REPRO_FAULT_PLAN`` environment variable
 (inline fault-plan JSON or a path): when set, the named injection sites
@@ -172,6 +179,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
     names = args.circuits or [row.name for row in TABLE1_ROWS]
     trace_path = _trace_path(args, "table1")
+    profiler = _start_profiler(args)
     config = SuiteConfig(
         circuits=tuple(names), scale=args.scale, seed=args.seed,
         n_frames=args.frames, n_patterns=args.patterns,
@@ -184,7 +192,11 @@ def cmd_table1(args: argparse.Namespace) -> int:
         core=args.core)
     progress = (lambda line: print(line, file=sys.stderr)) \
         if args.verbose else None
-    suite = run_suite(config, manifest_path=args.resume, progress=progress)
+    try:
+        suite = run_suite(config, manifest_path=args.resume,
+                          progress=progress)
+    finally:
+        _finish_profiler(args, profiler)
     rows = suite.rows
     print(format_comparison(rows))
     _print_table1_averages(rows)
@@ -199,6 +211,35 @@ def cmd_table1(args: argparse.Namespace) -> int:
         print(f"JSON report written to {args.json}", file=sys.stderr)
     _finish_telemetry(args, trace_path)
     return 0
+
+
+def _start_profiler(args: argparse.Namespace):
+    """Start the sampling profiler when ``--profile`` was given."""
+    if not getattr(args, "profile", None):
+        return None
+    from .telemetry.profiler import StackProfiler
+
+    profiler = StackProfiler(interval=args.profile_interval)
+    profiler.start()
+    return profiler
+
+
+def _finish_profiler(args: argparse.Namespace, profiler) -> None:
+    """Stop the profiler and write the collapsed-stack file (advisory:
+    a kill mid-run still leaves the checkpointed suite state intact, so
+    a failed profile write must not fail the command)."""
+    if profiler is None:
+        return
+    profiler.stop()
+    try:
+        profiler.write(args.profile)
+    except OSError as exc:
+        print(f"warning: could not write profile {args.profile}: {exc}",
+              file=sys.stderr)
+        return
+    print(f"profile written to {args.profile} "
+          f"({profiler.samples} samples); render it with "
+          f"'repro-ser trace flame {args.profile}'", file=sys.stderr)
 
 
 def _trace_path(args: argparse.Namespace, command: str) -> str | None:
@@ -336,6 +377,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service.app import RetimingService, ServiceConfig
 
+    trace_path = _trace_path(args, "serve")
     config = ServiceConfig(
         root=args.root, host=args.host, port=args.port, pool=args.pool,
         queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
@@ -349,21 +391,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries, retry_backoff=args.retry_backoff,
         cache=not args.no_cache, drain_after_idle=args.drain_after_idle,
         idle_grace=args.idle_grace, drain_timeout=args.drain_timeout,
-        verbose=args.verbose, core=args.core)
+        verbose=args.verbose, core=args.core,
+        trace_path=trace_path, access_log=args.access_log,
+        profile_path=args.profile,
+        profile_interval=args.profile_interval)
     service = RetimingService(config)
     code = service.serve()
     if args.metrics_out:
         from .telemetry import REGISTRY
 
         REGISTRY.write(args.metrics_out)
+    if trace_path:
+        print(f"span trace written to {trace_path}", file=sys.stderr)
+    if args.profile:
+        print(f"profile written to {args.profile}", file=sys.stderr)
     return code
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    from .telemetry.traceview import (flame, load_trace, summarize_trace,
-                                      top_spans)
+def cmd_ops(args: argparse.Namespace) -> int:
+    from .service.ops import run_console
 
+    try:
+        return run_console(args.root, interval=args.interval,
+                           count=args.count, once=args.once)
+    except KeyboardInterrupt:
+        print()  # leave the cursor on a fresh line after ^C
+        return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.profiler import (is_profile_file, load_profile,
+                                     render_profile)
+    from .telemetry.traceview import (filter_trace, flame, load_trace,
+                                      summarize_trace, top_spans)
+
+    if is_profile_file(args.trace_file):
+        # Collapsed-stack profiler output (--profile): flame is the one
+        # sensible rendering -- the stacks have no spans to rank.
+        if args.action != "flame":
+            raise ReproError(
+                f"{args.trace_file} is a sampling profile; render it "
+                f"with 'trace flame' (summarize/top need a span trace)")
+        print(render_profile(load_profile(args.trace_file),
+                             max_depth=args.depth))
+        return 0
     trace = load_trace(args.trace_file)
+    if args.job:
+        trace = filter_trace(trace, args.job)
+    if trace.skipped:
+        print(f"note: skipped {trace.skipped} unparsable line(s) "
+              f"(torn writes are expected after kills)", file=sys.stderr)
     if args.action == "summarize":
         print(summarize_trace(trace))
     elif args.action == "top":
@@ -542,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the metrics registry after the run "
                             "(JSON, or Prometheus text for .prom/.txt)")
 
+    def profile_opts(p):
+        p.add_argument("--profile", default=None, metavar="FILE",
+                       help="run the periodic stack-sampling profiler "
+                            "and write collapsed stacks here; render "
+                            "with 'repro-ser trace flame FILE'")
+        p.add_argument("--profile-interval", type=float, default=0.01,
+                       metavar="SECONDS",
+                       help="sampling period of --profile (default "
+                            "0.01s)")
+
     def cache_opts(p):
         p.add_argument("--cache", action="store_true",
                        help="memoize expensive analyses in a "
@@ -605,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     solver_opts(p)
     cache_opts(p)
     trace_opts(p)
+    profile_opts(p)
     core_opts(p)
     p.set_defaults(func=cmd_table1)
 
@@ -676,11 +764,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summarize: per-circuit stage breakdown; top: "
                         "spans ranked by self time; flame: indented "
                         "span tree")
-    p.add_argument("trace_file", help="trace JSONL file to read")
+    p.add_argument("trace_file",
+                   help="trace JSONL file (or, for 'flame', a "
+                        "collapsed-stack profile from --profile)")
     p.add_argument("-n", "--limit", type=int, default=15,
                    help="rows shown by 'top'")
     p.add_argument("--depth", type=int, default=None,
                    help="maximum tree depth shown by 'flame'")
+    p.add_argument("--job", default=None, metavar="ID",
+                   help="restrict a multi-job service trace to one job "
+                        "(job id or trace id)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -753,9 +846,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "releasing their leases")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="dump the metrics registry after the drain")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the service's span trace (JSONL) here: "
+                        "every job becomes one merged span tree "
+                        "(admission -> queue wait -> execute -> "
+                        "persist), sandbox subprocesses included")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="like --trace, but pick the file name "
+                        "(trace-serve.jsonl) inside DIR")
+    p.add_argument("--access-log", default=None, metavar="FILE",
+                   help="append one JSONL line per HTTP request here "
+                        "(carries the request's trace id)")
+    profile_opts(p)
     p.add_argument("-v", "--verbose", action="store_true")
     core_opts(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "ops",
+        help="live terminal console over a running service (queue "
+             "depth, worker liveness, latency quantiles)")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="the service's queue directory (the console "
+                        "reads <root>/service.json for the endpoint)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between redraws (default 2)")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="print N snapshots (no screen clearing) and "
+                        "exit")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (same as "
+                        "--count 1)")
+    p.set_defaults(func=cmd_ops)
 
     p = sub.add_parser(
         "corpus",

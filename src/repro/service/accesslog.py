@@ -1,0 +1,91 @@
+"""Structured JSONL access logs for the HTTP front door.
+
+One line per completed request, machine-joinable to everything else the
+observability plane emits: the ``trace`` field is the request's trace
+id (the same id on the job record, the executions journal and every
+span of the job), ``job`` is the job id a successful ``POST /jobs``
+minted, and ``route`` is the normalized endpoint label used by the
+``http.seconds.<route>`` SLO histograms.
+
+Line schema (``docs/file_formats.md``)::
+
+    {"ts": 1722849600.0, "method": "POST", "path": "/jobs",
+     "route": "post_jobs", "status": 202, "dur_ms": 12.3,
+     "remote": "127.0.0.1", "tenant": "default",
+     "trace": "t-4f...", "job": "j-ab..."}
+
+Appends are locked (handler threads share one writer), flushed per
+line, and *advisory*: an unwritable log never fails a request.  A kill
+can tear at most the final line; readers skip unparsable lines, same
+contract as the executions journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any
+
+
+class AccessLog:
+    """Append-only JSONL request log shared by all handler threads."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    def write(self, entry: dict[str, Any]) -> None:
+        """Append one request line (drops ``None`` fields; never raises)."""
+        compact = {key: value for key, value in entry.items()
+                   if value is not None}
+        try:
+            line = json.dumps(compact, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass  # advisory: logging must never fail a request
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+
+
+def read_access_log(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """All access-log entries in append order, skipping torn lines."""
+    entries: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line after a kill
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries

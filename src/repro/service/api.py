@@ -9,6 +9,15 @@ A :class:`~http.server.ThreadingHTTPServer` (daemon threads) serves::
     GET  /healthz           liveness + worker facts -> 200 (always)
     GET  /readyz            readiness               -> 200 / 503
     GET  /metrics           Prometheus text         -> 200
+    GET  /metrics.json      registry snapshot JSON  -> 200
+
+Every request, whatever the route or outcome, passes through the
+observability envelope (:meth:`ServiceRequestHandler._handle`): an
+``http.seconds.<route>`` latency observation, an
+``http.requests.<route>.<Nxx>`` status-class count, one JSONL
+access-log line, and -- tracing on -- an ``http.request`` span.  A
+``POST /jobs`` mints the job's trace id; the request span's id becomes
+the job's durable root span (``docs/observability.md``).
 
 ``/healthz`` answers "is the process up" and carries the worker-pool
 liveness snapshot (workers alive, heartbeat age, supervisor breaker
@@ -32,14 +41,39 @@ not ready) all carry ``Retry-After`` so a dumb retry loop converges.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import urlsplit
 
 from ..errors import AdmissionError
+from ..telemetry import REGISTRY
+from ..telemetry import spans as telemetry
 
 #: Largest accepted request body, in bytes.
 MAX_BODY_BYTES = 2 << 20
+
+#: Known normalized endpoint labels (the SLO-plane metric keys).
+ROUTE_LABELS = ("post_jobs", "get_jobs", "get_job", "get_job_result",
+                "healthz", "readyz", "metrics", "metrics_json", "other")
+
+
+def route_label(method: str, path: str) -> str:
+    """Normalize a request into a bounded endpoint label.
+
+    Metric names must have bounded cardinality, so ``/jobs/<id>`` and
+    ``/jobs/<id>/result`` collapse to ``get_job``/``get_job_result``
+    and anything unrecognized is ``other`` (a scanner walking random
+    paths cannot grow the registry).
+    """
+    if path == "/jobs":
+        return "post_jobs" if method == "POST" else "get_jobs"
+    if path.startswith("/jobs/"):
+        return "get_job_result" if path.endswith("/result") else "get_job"
+    if method == "GET" and path in ("/healthz", "/readyz", "/metrics",
+                                    "/metrics.json"):
+        return path.strip("/").replace(".", "_")
+    return "other"
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -68,6 +102,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict[str, Any],
                    headers: dict[str, str] | None = None) -> None:
+        self._status = status
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -79,6 +114,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, text: str,
                    content_type: str = "text/plain; version=0.0.4") -> None:
+        self._status = status
         body = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -99,10 +135,74 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": error}, headers=headers)
 
     # ------------------------------------------------------------------
-    # Routes
+    # Observability wrapper
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        """Route the request inside the observability envelope.
+
+        Every request -- whatever route, whatever outcome -- lands in
+        the per-endpoint SLO plane (``http.seconds.<route>`` latency
+        histogram + ``http.requests.<route>.<Nxx>`` class counters), one
+        structured access-log line, and (tracing on) an ``http.request``
+        span.  A ``POST /jobs`` mints a fresh trace id here: its span
+        becomes the root of the job's whole merged span tree and its
+        span id is persisted on the durable job record.
+        """
         path = urlsplit(self.path).path.rstrip("/") or "/"
+        self._status = 0
+        self._span = None
+        self._job_id = None
+        self._tenant = None
+        tracer = telemetry.active()
+        if tracer is not None:
+            trace_id = telemetry.new_trace_id() \
+                if (method, path) == ("POST", "/jobs") else None
+            self._span = tracer.begin(
+                "http.request", {"method": method, "path": path},
+                parent=None, trace=trace_id)
+        started = time.perf_counter()
+        try:
+            if method == "GET":
+                self._route_get(path)
+            else:
+                self._route_post(path)
+        except BaseException as exc:
+            if self._span is not None:
+                self._span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            duration = time.perf_counter() - started
+            route = route_label(method, path)
+            REGISTRY.histogram(f"http.seconds.{route}").observe(duration)
+            klass = f"{self._status // 100}xx" if self._status else "0xx"
+            REGISTRY.counter(f"http.requests.{route}.{klass}").inc()
+            if self._span is not None:
+                self._span.attrs["status"] = self._status
+                self._span.attrs["route"] = route
+                if self._job_id is not None:
+                    self._span.attrs["job"] = self._job_id
+                tracer.end(self._span)
+            self.service.access(
+                {"ts": time.time(), "method": method, "path": path,
+                 "route": route, "status": self._status,
+                 "dur_ms": round(duration * 1e3, 3),
+                 "remote": self.client_address[0]
+                 if self.client_address else None,
+                 "tenant": self._tenant,
+                 "trace": self._span.trace
+                 if self._span is not None else None,
+                 "job": self._job_id})
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _route_get(self, path: str) -> None:
         if path == "/healthz":
             self._send_json(200, self.service.health_payload())
             return
@@ -115,6 +215,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if path == "/metrics":
             self._send_text(200, self.service.metrics_text())
+            return
+        if path == "/metrics.json":
+            self._send_json(200, self.service.metrics_snapshot())
             return
         if path == "/jobs":
             self._send_json(200, self.service.queue_summary())
@@ -140,8 +243,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         self._error(404, f"no route {path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        path = urlsplit(self.path).path.rstrip("/")
+    def _route_post(self, path: str) -> None:
         if path != "/jobs":
             self._error(404, f"no route {path!r}")
             return
@@ -163,7 +265,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._error(400, f"request body is not valid JSON: {exc}")
             return
         try:
-            record = self.service.submit(payload)
+            record = self.service.submit(
+                payload,
+                trace_id=self._span.trace if self._span else None,
+                span_id=self._span.id if self._span else None)
         except AdmissionError as exc:
             self._error(exc.status, str(exc), field=exc.field,
                         retry_after=exc.retry_after)
@@ -175,6 +280,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                              f"{type(exc).__name__}: {exc}",
                         retry_after=2.0)
             return
+        self._job_id = record.id
+        self._tenant = record.tenant
         self._send_json(202, {"job": record.to_dict(),
                               "url": f"/jobs/{record.id}"},
                         headers={"Location": f"/jobs/{record.id}"})

@@ -33,7 +33,11 @@ from typing import Any
 
 from .. import cache as analysis_cache
 from ..circuits.suites import DEFAULT_SCALE
+from ..errors import AdmissionError
 from ..telemetry import REGISTRY
+from ..telemetry import spans as telemetry
+from ..telemetry.profiler import StackProfiler
+from .accesslog import AccessLog
 from .admission import AdmissionController
 from .api import build_server
 from .jobs import JobRecord
@@ -99,6 +103,15 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     monitor_interval: float = 0.5
     verbose: bool = False
+    #: Request-scoped tracing: append the service's span stream (HTTP
+    #: request spans, per-job lifecycle spans, absorbed sandbox shards)
+    #: to this JSONL file.  ``None`` = tracing off (the <2 % path).
+    trace_path: str | None = None
+    #: Structured JSONL access log carrying trace/job ids per request.
+    access_log: str | None = None
+    #: Collapsed-stack sampling-profiler output, written at drain.
+    profile_path: str | None = None
+    profile_interval: float = 0.01
 
 
 class RetimingService:
@@ -134,6 +147,8 @@ class RetimingService:
         self._monitor: threading.Thread | None = None
         self.server = None
         self.recovery: dict[str, Any] = {}
+        self.access_log = AccessLog(config.access_log) \
+            if config.access_log else None
 
     # ------------------------------------------------------------------
     # Handler-facing API (see api.py)
@@ -142,11 +157,29 @@ class RetimingService:
         if self.config.verbose:
             print(f"[service] {message}", file=sys.stderr, flush=True)
 
-    def submit(self, payload: Any) -> JobRecord:
-        spec, tenant = self.admission.admit(payload, self.queue.depth())
-        record = self.queue.submit(spec, tenant=tenant)
+    def submit(self, payload: Any, *, trace_id: str | None = None,
+               span_id: str | None = None) -> JobRecord:
+        tenant_label = "default"
+        if isinstance(payload, dict) and isinstance(payload.get("tenant"),
+                                                    str):
+            tenant_label = payload["tenant"][:64] or "default"
+        try:
+            spec, tenant = self.admission.admit(payload,
+                                                self.queue.depth())
+        except AdmissionError:
+            REGISTRY.counter(
+                f"service.tenant.{tenant_label}.rejected").inc()
+            raise
+        record = self.queue.submit(spec, tenant=tenant,
+                                   trace_id=trace_id, span_id=span_id)
+        REGISTRY.counter(f"service.tenant.{tenant}.accepted").inc()
         self.log(f"accepted job {record.id} ({spec.get('circuit') or spec.get('name')})")
         return record
+
+    def access(self, entry: dict[str, Any]) -> None:
+        """Write one access-log line (no-op unless configured)."""
+        if self.access_log is not None:
+            self.access_log.write(entry)
 
     def readiness(self) -> tuple[bool, str]:
         if self.draining:
@@ -177,6 +210,20 @@ class RetimingService:
                 "workers": self.supervisor.state()}
 
     def metrics_text(self) -> str:
+        self._refresh_gauges()
+        return REGISTRY.to_prometheus()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The ``/metrics.json`` body: the raw registry snapshot.
+
+        Machine-friendly twin of ``/metrics`` (histogram buckets stay
+        structured instead of Prometheus text), which is what the
+        ``repro-ser ops`` console polls for its quantiles and rates.
+        """
+        self._refresh_gauges()
+        return REGISTRY.snapshot()
+
+    def _refresh_gauges(self) -> None:
         counts = self.queue.counts()
         for state, count in counts.items():
             REGISTRY.gauge(f"service.queue.{state}").set(count)
@@ -192,7 +239,6 @@ class RetimingService:
             1.0 if self.supervisor.breaker_state() == "open" else 0.0)
         self.admission.memory_pressure()  # refreshes the resident gauge
         REGISTRY.gauge("service.draining").set(1.0 if self.draining else 0.0)
-        return REGISTRY.to_prometheus()
 
     def queue_summary(self) -> dict[str, Any]:
         jobs = [{"id": r.id, "state": r.state, "tenant": r.tenant,
@@ -249,6 +295,18 @@ class RetimingService:
         if config.cache:
             analysis_cache.configure(os.path.join(config.root, "cache"))
 
+        tracer = None
+        if config.trace_path:
+            tracer = telemetry.Tracer(
+                config.trace_path,
+                meta={"kind": "service", "root": config.root,
+                      "isolation": config.isolation, "pid": os.getpid()})
+            telemetry.install(tracer)
+        profiler = None
+        if config.profile_path:
+            profiler = StackProfiler(interval=config.profile_interval)
+            profiler.start()
+
         self.server = build_server(self, config.host, config.port)
         host, port = self.server.server_address[:2]
         self._write_endpoint(str(host), int(port))
@@ -288,6 +346,19 @@ class RetimingService:
         self.server.server_close()
         if self._monitor is not None:
             self._monitor.join(2.0)
+        if profiler is not None:
+            profiler.stop()
+            try:
+                profiler.write(config.profile_path)
+                self.log(f"profile written to {config.profile_path} "
+                         f"({profiler.samples} samples)")
+            except OSError:
+                pass  # the profile is advisory; never fail the drain
+        if tracer is not None:
+            telemetry.uninstall()
+            tracer.close()
+        if self.access_log is not None:
+            self.access_log.close()
         if config.cache:
             analysis_cache.deactivate()
         try:

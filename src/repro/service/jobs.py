@@ -1,7 +1,9 @@
 """Durable job records: states, legal transitions, atomic persistence.
 
 One job = one file ``<queue root>/jobs/<id>.json`` (format
-``repro-job``, version 1, sha256 checksum over the canonical JSON).
+``repro-job``, version 2, sha256 checksum over the canonical JSON;
+version-1 records -- written before trace context existed -- load
+compatibly with ``trace_id``/``span_id`` as ``None``).
 Every record write rides the same durability protocol as the run
 manifest (temp file -> flush -> fsync -> atomic rename -> best-effort
 directory fsync), so a crash at any point leaves either the previous
@@ -40,7 +42,10 @@ from ..faultplane.hooks import fault_point
 from ..runtime.manifest import manifest_checksum, result_checksum
 
 JOB_FORMAT = "repro-job"
-JOB_VERSION = 1
+#: Version 2 added the ``trace_id``/``span_id`` observability fields;
+#: version-1 records (no trace context) still load cleanly.
+JOB_VERSION = 2
+COMPATIBLE_JOB_VERSIONS = (1, 2)
 
 #: Every job state, in rough lifecycle order.
 JOB_STATES = ("queued", "leased", "running", "done", "failed", "quarantined")
@@ -127,6 +132,14 @@ class JobRecord:
         ``digest`` its :func:`job_result_digest`.
     error:
         Terminal payload of a ``failed``/``quarantined`` job.
+    trace_id / span_id:
+        Request-scoped trace context minted at admission (the trace id
+        and the ``http.request`` root span id of the submitting POST).
+        Every lifecycle span of this job -- across requeues, worker
+        restarts and sandbox subprocesses -- parents to ``span_id`` and
+        carries ``trace_id``, and the executions journal repeats both,
+        so audit lines join to traces.  ``None`` on version-1 records
+        and untraced submissions.
     """
 
     id: str
@@ -144,6 +157,8 @@ class JobRecord:
     lease: dict[str, Any] | None = None
     result: dict[str, Any] | None = None
     error: dict[str, Any] | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -183,6 +198,7 @@ class JobRecord:
             "max_crashes": int(self.max_crashes),
             "crash_evidence": [dict(e) for e in self.crash_evidence],
             "lease": self.lease, "result": self.result, "error": self.error,
+            "trace_id": self.trace_id, "span_id": self.span_id,
         }
 
     @classmethod
@@ -201,7 +217,11 @@ class JobRecord:
                 crash_evidence=[dict(e) for e in
                                 data.get("crash_evidence", [])],
                 lease=data.get("lease"), result=data.get("result"),
-                error=data.get("error"))
+                error=data.get("error"),
+                trace_id=(None if data.get("trace_id") is None
+                          else str(data["trace_id"])),
+                span_id=(None if data.get("span_id") is None
+                         else str(data["span_id"])))
         except (KeyError, TypeError, ValueError) as exc:
             raise JobStateError(f"malformed job record: {exc}") from exc
         if record.state not in JOB_STATES:
@@ -268,10 +288,10 @@ def load_job(path: str | os.PathLike[str]) -> JobRecord:
             from exc
     if not isinstance(payload, dict) or payload.get("format") != JOB_FORMAT:
         raise JobStateError(f"{path!r} is not a job record")
-    if payload.get("version") != JOB_VERSION:
+    if payload.get("version") not in COMPATIBLE_JOB_VERSIONS:
         raise JobStateError(
             f"{path!r} has job-record version {payload.get('version')!r}, "
-            f"this build reads version {JOB_VERSION}")
+            f"this build reads versions {COMPATIBLE_JOB_VERSIONS}")
     stored = payload.get("checksum")
     if not isinstance(stored, str) or stored != manifest_checksum(payload):
         raise JobStateError(

@@ -1,0 +1,182 @@
+"""``repro-ser ops``: a live terminal console over a running service.
+
+Zero-dependency operational visibility: the console polls the three
+read-only endpoints a service already serves -- ``/healthz`` (worker
+liveness, breaker state), ``/metrics.json`` (the raw registry
+snapshot) and ``/jobs`` (queue counts) -- and renders one screenful:
+
+* queue depth per state, jobs accepted/completed/failed/quarantined;
+* worker liveness (alive/pool, busy, heartbeat age, supervisor
+  breaker), drain flag, resident memory;
+* shed/rejection counters with per-second *rates* computed from the
+  delta between consecutive metric snapshots;
+* per-endpoint latency quantiles (p50/p95/p99) interpolated from the
+  ``http.seconds.<route>`` histogram buckets
+  (:func:`repro.telemetry.metrics.histogram_quantile`).
+
+``--once`` prints a single snapshot and exits (scripts, tests);
+otherwise the console clears and redraws every ``--interval`` seconds
+until interrupted or ``--count`` screens have been drawn.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from ..errors import ReproError
+from ..telemetry.metrics import histogram_quantile
+from .api import ROUTE_LABELS
+from .app import read_endpoint
+
+#: Quantiles shown per endpoint.
+QUANTILES = (0.50, 0.95, 0.99)
+
+#: Counters rendered in the "traffic" section, with short labels.
+TRAFFIC_COUNTERS = (
+    ("service.jobs.accepted", "accepted"),
+    ("service.jobs.completed", "completed"),
+    ("service.jobs.failed", "failed"),
+    ("service.jobs.requeued", "requeued"),
+    ("service.jobs.crash_requeued", "crash-requeued"),
+    ("service.jobs.quarantined", "quarantined"),
+    ("service.jobs.rejected", "rejected"),
+    ("service.jobs.shed_memory", "shed (memory)"),
+)
+
+
+def _get_json(host: str, port: int, path: str,
+              timeout: float = 5.0) -> dict[str, Any]:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    if response.status != 200:
+        raise ReproError(f"GET {path} -> {response.status}")
+    return json.loads(body)
+
+
+def fetch_status(host: str, port: int) -> dict[str, Any]:
+    """One consistent-enough poll of the three read-only endpoints."""
+    return {
+        "ts": time.time(),
+        "health": _get_json(host, port, "/healthz"),
+        "metrics": _get_json(host, port, "/metrics.json"),
+        "jobs": _get_json(host, port, "/jobs"),
+    }
+
+
+def _metric_value(metrics: dict[str, Any], name: str) -> float:
+    entry = metrics.get("metrics", {}).get(name)
+    if not entry:
+        return 0.0
+    return float(entry.get("value", entry.get("count", 0)))
+
+
+def _rate(now: dict[str, Any], prev: dict[str, Any] | None,
+          name: str) -> float | None:
+    """Per-second increase of a counter between two polls, if possible."""
+    if prev is None:
+        return None
+    elapsed = now["ts"] - prev["ts"]
+    if elapsed <= 0:
+        return None
+    delta = _metric_value(now["metrics"], name) \
+        - _metric_value(prev["metrics"], name)
+    return max(0.0, delta) / elapsed
+
+
+def _latency_rows(metrics: dict[str, Any]) -> list[str]:
+    rows: list[str] = []
+    for route in ROUTE_LABELS:
+        entry = metrics.get("metrics", {}).get(f"http.seconds.{route}")
+        if not entry or entry.get("type") != "histogram" \
+                or not entry.get("count"):
+            continue
+        quantiles = []
+        for q in QUANTILES:
+            value = histogram_quantile(q, entry["buckets"],
+                                       entry["counts"])
+            quantiles.append("--" if value is None
+                             else f"{value * 1e3:8.1f}ms")
+        rows.append(f"  {route:<16} n={entry['count']:<6} "
+                    f"p50 {quantiles[0]}  p95 {quantiles[1]}  "
+                    f"p99 {quantiles[2]}")
+    return rows
+
+
+def render_status(status: dict[str, Any],
+                  prev: dict[str, Any] | None = None) -> str:
+    """One screenful of console text from a :func:`fetch_status` poll."""
+    health = status["health"]
+    metrics = status["metrics"]
+    counts = status["jobs"].get("counts", {})
+    # The /healthz "workers" object is the supervisor's flat snapshot:
+    # breaker/restarts plus the pool's liveness fields.
+    pool = health.get("workers", {})
+    lines = [
+        f"repro-ser ops  "
+        f"{time.strftime('%H:%M:%S', time.localtime(status['ts']))}  "
+        f"{'DRAINING' if health.get('draining') else 'serving'}  "
+        f"isolation={health.get('isolation', '?')}",
+        "",
+        "queue     " + "  ".join(
+            f"{state}={counts.get(state, 0)}"
+            for state in ("queued", "leased", "running", "done",
+                          "failed", "quarantined")),
+        f"workers   alive={pool.get('workers_alive', '?')}/"
+        f"{pool.get('pool_size', '?')}  busy={pool.get('busy', '?')}  "
+        f"heartbeat={'up' if pool.get('heartbeat_alive') else 'DOWN'}"
+        + (f" (beat {pool.get('last_beat_age'):.1f}s ago)"
+           if isinstance(pool.get("last_beat_age"), (int, float))
+           else "")
+        + f"  breaker={pool.get('breaker', '?')}",
+    ]
+    resident = _metric_value(metrics, "service.memory.resident_mb")
+    if resident:
+        lines.append(f"memory    resident={resident:.0f} MiB")
+    lines.append("")
+    lines.append("traffic")
+    for name, label in TRAFFIC_COUNTERS:
+        total = _metric_value(metrics, name)
+        rate = _rate(status, prev, name)
+        rate_text = f"  ({rate:.2f}/s)" if rate is not None else ""
+        lines.append(f"  {label:<16} {total:>8.0f}{rate_text}")
+    latency = _latency_rows(metrics)
+    if latency:
+        lines.append("")
+        lines.append("http latency")
+        lines.extend(latency)
+    return "\n".join(lines) + "\n"
+
+
+def run_console(root: str, *, interval: float = 2.0,
+                count: int | None = None, once: bool = False,
+                endpoint_timeout: float = 5.0) -> int:
+    """Drive the console against the service owning ``root``.
+
+    Returns a process exit code.  ``--once`` prints one snapshot with
+    no screen clearing (safe to pipe); the live mode redraws with an
+    ANSI home+clear, which every terminal this project targets honors.
+    """
+    endpoint = read_endpoint(root, timeout=endpoint_timeout)
+    host, port = str(endpoint["host"]), int(endpoint["port"])
+    prev: dict[str, Any] | None = None
+    drawn = 0
+    while True:
+        status = fetch_status(host, port)
+        screen = render_status(status, prev)
+        if once or count is not None:
+            print(screen, end="")
+        else:
+            print("\x1b[H\x1b[2J" + screen, end="", flush=True)
+        drawn += 1
+        if once or (count is not None and drawn >= count):
+            return 0
+        prev = status
+        time.sleep(max(0.1, interval))

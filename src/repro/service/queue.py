@@ -113,6 +113,10 @@ class JobQueue:
                  **extra: Any) -> None:
         entry = {"event": event, "job": record.id, "ts": self.clock(),
                  "attempt": record.attempts}
+        if record.trace_id is not None:
+            entry["trace"] = record.trace_id
+        if record.span_id is not None:
+            entry["span"] = record.span_id
         entry.update(extra)
         line = json.dumps(entry, sort_keys=True) + "\n"
         try:
@@ -175,14 +179,23 @@ class JobQueue:
     # Lifecycle API
     # ------------------------------------------------------------------
     def submit(self, spec: dict[str, Any],
-               tenant: str = "default") -> JobRecord:
-        """Durably enqueue a new job; returns the queued record."""
+               tenant: str = "default", *,
+               trace_id: str | None = None,
+               span_id: str | None = None) -> JobRecord:
+        """Durably enqueue a new job; returns the queued record.
+
+        ``trace_id``/``span_id`` are the request-scoped trace context
+        minted by the HTTP front door (the trace id and the
+        ``http.request`` root span of the submitting POST); they ride
+        the durable record for the job's whole life.
+        """
         with self._lock:
             now = self.clock()
             record = JobRecord(id=new_job_id(), tenant=tenant, spec=spec,
                                submitted_at=now, updated_at=now,
                                max_requeues=self.max_requeues,
-                               max_crashes=self.max_crashes)
+                               max_crashes=self.max_crashes,
+                               trace_id=trace_id, span_id=span_id)
             self._persist(record)
             self._jobs[record.id] = record
             REGISTRY.counter("service.jobs.accepted").inc()
@@ -202,11 +215,18 @@ class JobQueue:
                 return None
             record = min(queued, key=lambda r: (r.submitted_at, r.id))
             with self._rollback_on_failure(record):
+                now = self.clock()
+                # How long the job sat queued since it last became
+                # queued (submit or requeue persisted updated_at then).
+                # Rides the lease so the worker can emit a queue.wait
+                # span without re-deriving queue history.
+                queued_for = max(0.0, now - record.updated_at)
                 record.transition("leased")
                 record.attempts += 1
                 record.lease = {
                     "worker": worker,
-                    "expires_at": self.clock() + self.lease_seconds}
+                    "expires_at": now + self.lease_seconds,
+                    "queued_for": queued_for}
                 self._persist(record)
             return record
 

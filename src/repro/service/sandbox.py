@@ -142,14 +142,21 @@ def run_sandboxed(spec: dict[str, Any], defaults: Any, *,
                   job_id: str, attempt: int,
                   limits: SandboxLimits | None = None,
                   cache_dir: str | None = None,
-                  python: str | None = None) -> SandboxOutcome:
+                  python: str | None = None,
+                  telemetry: dict[str, Any] | None = None
+                  ) -> SandboxOutcome:
     """Execute one job spec in a fresh worker subprocess.
 
     ``defaults`` is the pool's
     :class:`~repro.service.workers.ExecutionDefaults`; ``attempt`` is
     the job's attempt count (decorrelates injected worker faults across
-    retries).  Never raises for child misbehavior -- every way the
-    child can die comes back as a classified :class:`SandboxOutcome`.
+    retries).  ``telemetry`` (optional) is the trace handoff --
+    ``{"path", "prefix", "trace", "parent"}`` -- that tells the child
+    where to write its span shard and which parent span/trace id to
+    hang its tree under; the *caller* absorbs the shard afterwards (the
+    shard path must live outside the throwaway workdir).  Never raises
+    for child misbehavior -- every way the child can die comes back as
+    a classified :class:`SandboxOutcome`.
     """
     limits = limits or SandboxLimits()
     workdir = tempfile.mkdtemp(prefix=f"repro-sandbox-{job_id}-")
@@ -161,6 +168,7 @@ def run_sandboxed(spec: dict[str, Any], defaults: Any, *,
             "cache_dir": cache_dir,
             "job": {"id": job_id, "attempt": int(attempt),
                     "name": job_display_name(spec)},
+            "telemetry": telemetry,
         })
         stderr_path = os.path.join(workdir, STDERR_NAME)
         env = dict(os.environ)
@@ -293,6 +301,50 @@ def _install_child_faults(job_name: str, attempt: int) -> None:
                                 stats_path=os.environ.get(ENV_STATS)))
 
 
+def _start_child_telemetry(handoff: dict[str, Any] | None,
+                           job: dict[str, Any]) -> tuple[Any, Any]:
+    """Install the shard tracer described by the ``input.json`` handoff.
+
+    Opens the child's root span (``job.sandbox``) with the *parent-side*
+    ``job.execute`` span id as its explicit parent and the job's trace
+    id, so the shard's whole tree re-roots correctly once the claiming
+    worker absorbs it into the main trace.  Returns ``(None, None)``
+    when no handoff came (tracing off in the service).
+    """
+    if not handoff or not handoff.get("path"):
+        return None, None
+    from ..telemetry import spans as telemetry
+
+    tracer = telemetry.Tracer(handoff["path"],
+                              prefix=str(handoff.get("prefix", "")),
+                              meta={"kind": "sandbox",
+                                    "job": job.get("id")})
+    telemetry.install(tracer)
+    span = tracer.begin("job.sandbox",
+                        {"job": job.get("id"),
+                         "attempt": job.get("attempt"),
+                         "pid": os.getpid()},
+                        parent=handoff.get("parent"),
+                        trace=handoff.get("trace"))
+    return tracer, span
+
+
+def _stop_child_telemetry(tracer: Any, span: Any,
+                          error: str | None = None) -> None:
+    if tracer is None:
+        return
+    from ..telemetry import spans as telemetry
+
+    try:
+        if error is not None:
+            span.attrs.setdefault("error", error)
+        tracer.end(span)
+        telemetry.uninstall()
+        tracer.close()
+    except Exception:
+        pass  # telemetry must never change the child's exit protocol
+
+
 def child_main(workdir: str) -> int:
     """Entry point of the worker subprocess (``-m repro.service.sandbox``).
 
@@ -325,6 +377,8 @@ def child_main(workdir: str) -> int:
         analysis_cache.configure(payload["cache_dir"])
 
     output_path = os.path.join(workdir, OUTPUT_NAME)
+    tracer, root_span = _start_child_telemetry(payload.get("telemetry"),
+                                               job)
     try:
         fault_point("service.worker.execute", job=job.get("id"),
                     name=name, attempt=attempt)
@@ -336,6 +390,7 @@ def child_main(workdir: str) -> int:
         import gc
 
         gc.collect()
+        _stop_child_telemetry(tracer, root_span, error="MemoryError")
         try:
             _write_json_atomic(output_path, {"oom": {
                 "message": "worker MemoryError (memory budget "
@@ -344,9 +399,12 @@ def child_main(workdir: str) -> int:
             pass
         return OOM_EXIT_CODE
     except Exception as exc:
+        _stop_child_telemetry(tracer, root_span,
+                              error=type(exc).__name__)
         _write_json_atomic(output_path, {"error": {
             "type": type(exc).__name__, "message": str(exc)[:500]}})
         return 0
+    _stop_child_telemetry(tracer, root_span)
     _write_json_atomic(output_path, {"result": result})
     return 0
 

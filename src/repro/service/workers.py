@@ -41,16 +41,18 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from ..circuits.suites import DEFAULT_SCALE, table1_circuit
-from ..errors import JobStateError
+from ..errors import JobStateError, TelemetryError
 from ..netlist.bench_format import loads_bench
 from ..netlist.circuit import Circuit
 from ..runtime.suite import SuiteConfig, optimize_resilient
 from ..telemetry import REGISTRY
-from .jobs import job_result_digest
+from ..telemetry import spans as telemetry
+from .jobs import JobRecord, job_result_digest
 from .queue import JobQueue
 
 
@@ -119,6 +121,34 @@ def execute_job(spec: dict[str, Any],
 _CRASH_METRICS = {"crash": "service.worker.crashes",
                   "oom": "service.worker.ooms",
                   "timeout": "service.worker.timeouts"}
+
+
+@contextmanager
+def _job_span(record: JobRecord, name: str,
+              **attrs: Any) -> Iterator[Any]:
+    """A job-lifecycle span parented to the job's durable root span.
+
+    Explicit parent/trace (from the record's persisted trace context)
+    rather than the thread stack, so the spans of every attempt -- any
+    worker thread, any service restart -- land as siblings under the
+    same ``http.request`` root.  Yields ``None`` (and costs one ``None``
+    test) when tracing is off.
+    """
+    tracer = telemetry.active()
+    if tracer is None:
+        yield None
+        return
+    attrs.setdefault("job", record.id)
+    attrs.setdefault("attempt", record.attempts)
+    span = tracer.begin(name, attrs, parent=record.span_id,
+                        trace=record.trace_id)
+    try:
+        yield span
+    except BaseException as exc:
+        span.attrs.setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        tracer.end(span)
 
 
 class WorkerPool:
@@ -284,24 +314,51 @@ class WorkerPool:
                 continue
             self._set_current(worker, record.id)
             try:
-                self._execute(record.id, record.spec)
+                self._emit_queue_wait(record, worker)
+                self._execute(record)
             finally:
                 self._set_current(worker, None)
 
-    def _execute(self, job_id: str, spec: dict[str, Any]) -> None:
+    def _emit_queue_wait(self, record: JobRecord, worker: str) -> None:
+        """Synthesize the queue.wait span from the claim's bookkeeping.
+
+        The wait already *happened* (between the job last becoming
+        queued and this claim), so the span is back-dated by the
+        ``queued_for`` the claim stashed in the lease.  After a service
+        restart the start time can land before the tracer's epoch
+        (negative ``t0``) -- harmless, readers only difference times.
+        """
+        tracer = telemetry.active()
+        if tracer is None or record.trace_id is None:
+            return
+        wait = float((record.lease or {}).get("queued_for", 0.0))
+        tracer.emit_span("queue.wait", tracer.now() - wait,
+                         {"job": record.id, "attempt": record.attempts,
+                          "worker": worker},
+                         parent=record.span_id, trace=record.trace_id)
+
+    def _execute(self, record: JobRecord) -> None:
+        job_id, spec = record.id, record.spec
         try:
-            record = self.queue.start(job_id)
+            with _job_span(record, "job.lease",
+                           worker=(record.lease or {}).get("worker")):
+                record = self.queue.start(job_id)
             if self.isolation == "process":
-                self._execute_sandboxed(job_id, record.attempts, spec)
+                self._execute_sandboxed(record)
             else:
-                self._finish(job_id, execute_job(spec, self.defaults))
+                with _job_span(record, "job.execute", isolation="thread"):
+                    result = execute_job(spec, self.defaults)
+                with _job_span(record, "job.persist",
+                               outcome=result["status"]):
+                    self._finish(job_id, result)
         except JobStateError:
             pass  # lost a drain/expiry race; the queue's outcome stands
         except Exception as exc:
             REGISTRY.counter("service.jobs.errors").inc()
             try:
-                self.queue.requeue(
-                    job_id, reason=f"{type(exc).__name__}: {exc}")
+                with _job_span(record, "job.persist", outcome="requeue"):
+                    self.queue.requeue(
+                        job_id, reason=f"{type(exc).__name__}: {exc}")
             except Exception:
                 pass  # still leased; lease expiry will requeue it
 
@@ -315,31 +372,68 @@ class WorkerPool:
         else:
             self.queue.complete(job_id, result)
 
-    def _execute_sandboxed(self, job_id: str, attempt: int,
-                           spec: dict[str, Any]) -> None:
+    def _execute_sandboxed(self, record: JobRecord) -> None:
         """Process-isolation path: spawn, classify, route.
 
         Raises nothing sandbox-specific -- a worker-process death comes
         back as a classified outcome and feeds the job's crash budget;
         only queue transitions can raise (handled by :meth:`_execute`).
+
+        Trace propagation across the process boundary: the child gets a
+        shard path, an id prefix, the trace id and the parent-side
+        ``job.execute`` span id through ``input.json``; it traces into
+        the shard (a sibling of the main trace file, *outside* the
+        throwaway sandbox workdir), and this thread folds the shard
+        into the live trace with :meth:`~repro.telemetry.Tracer.absorb`
+        once the subprocess is gone.  A killed child leaves at most a
+        torn shard tail, which absorb skips.
         """
         from .sandbox import run_sandboxed
 
-        outcome = run_sandboxed(spec, self.defaults, job_id=job_id,
-                                attempt=attempt, limits=self.limits,
-                                cache_dir=self.cache_dir)
+        job_id, attempt, spec = record.id, record.attempts, record.spec
+        tracer = telemetry.active()
+        child_telemetry = None
+        shard_path = None
+        try:
+            with _job_span(record, "job.execute",
+                           isolation="process") as span:
+                if tracer is not None and span is not None:
+                    shard_path = (f"{tracer.path}.sandbox-{job_id}"
+                                  f"-{attempt}.jsonl")
+                    child_telemetry = {
+                        "path": shard_path,
+                        "prefix": f"sb-{job_id}-{attempt}-",
+                        "trace": record.trace_id,
+                        "parent": span.id,
+                    }
+                outcome = run_sandboxed(spec, self.defaults,
+                                        job_id=job_id, attempt=attempt,
+                                        limits=self.limits,
+                                        cache_dir=self.cache_dir,
+                                        telemetry=child_telemetry)
+        finally:
+            if tracer is not None and shard_path is not None:
+                try:
+                    tracer.absorb(shard_path)
+                except TelemetryError:
+                    pass  # unreadable shard loses spans, never the job
         if outcome.kind == "result":
-            self._finish(job_id, outcome.result)
+            with _job_span(record, "job.persist",
+                           outcome=outcome.result["status"]):
+                self._finish(job_id, outcome.result)
         elif outcome.kind == "error":
             error = outcome.error or {}
             REGISTRY.counter("service.jobs.errors").inc()
-            self.queue.requeue(
-                job_id, reason=f"{error.get('type', 'Error')}: "
-                               f"{error.get('message', '')}")
+            with _job_span(record, "job.persist", outcome="requeue"):
+                self.queue.requeue(
+                    job_id, reason=f"{error.get('type', 'Error')}: "
+                                   f"{error.get('message', '')}")
         else:  # crash / oom / timeout: the worker process died
             REGISTRY.counter(_CRASH_METRICS.get(
                 outcome.kind, "service.worker.crashes")).inc()
-            self.queue.record_crash(job_id, outcome.evidence)
+            with _job_span(record, "job.persist",
+                           outcome=f"crash:{outcome.kind}"):
+                self.queue.record_crash(job_id, outcome.evidence)
 
     def _beat(self) -> None:
         """Extend the leases of in-flight jobs, forever.

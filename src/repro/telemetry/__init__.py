@@ -31,16 +31,16 @@ and the trace-file schema.
 """
 
 from .metrics import (REGISTRY, Counter, Gauge, Histogram,
-                      MetricsRegistry)
+                      MetricsRegistry, histogram_quantile)
 from .spans import (TRACE_FORMAT, TRACE_VERSION, Tracer, active,
                     add_attrs, current_span_id, event, install, installed,
-                    merge_shard_traces, shard_trace_path,
+                    merge_shard_traces, new_trace_id, shard_trace_path,
                     shard_trace_paths, span, uninstall)
 
 __all__ = [
     "REGISTRY", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "TRACE_FORMAT", "TRACE_VERSION", "Tracer", "active", "add_attrs",
-    "current_span_id", "event", "install", "installed",
-    "merge_shard_traces", "shard_trace_path", "shard_trace_paths",
-    "span", "uninstall",
+    "current_span_id", "event", "histogram_quantile", "install",
+    "installed", "merge_shard_traces", "new_trace_id",
+    "shard_trace_path", "shard_trace_paths", "span", "uninstall",
 ]

@@ -254,6 +254,37 @@ class MetricsRegistry:
         self._help.clear()
 
 
+def histogram_quantile(q: float, buckets: list[float],
+                       counts: list[int]) -> float | None:
+    """Estimate quantile ``q`` from a histogram snapshot entry.
+
+    ``buckets``/``counts`` are a histogram's snapshot fields
+    (non-cumulative per-bucket counts with the trailing +Inf overflow
+    slot).  Linear interpolation within the winning bucket, Prometheus
+    style; observations in the overflow bucket clamp to the last finite
+    bound.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(buckets):   # +Inf overflow bucket
+                return float(buckets[-1])
+            lo = buckets[index - 1] if index else 0.0
+            hi = buckets[index]
+            fraction = (rank - cumulative) / count
+            return lo + (hi - lo) * fraction
+        cumulative += count
+    return float(buckets[-1])
+
+
 def prometheus_name(name: str) -> str:
     """Sanitize a dotted metric name into a Prometheus identifier."""
     return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)

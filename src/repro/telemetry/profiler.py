@@ -1,0 +1,242 @@
+"""Zero-dependency periodic stack-sampling profiler.
+
+A daemon thread wakes every ``interval`` seconds, snapshots every other
+thread's Python stack via :func:`sys._current_frames`, and accumulates
+*collapsed stacks* -- ``ThreadName;module.func;module.func;...`` strings,
+root frame first -- into a counts dict.  Sampling is statistical: a
+function's share of samples approximates its share of wall time, which
+is exactly the attribution the flat-core work needs (where does
+ELW/SER time go: IntervalSet arithmetic, numpy kernels, or glue?).
+
+The output is the Brendan-Gregg collapsed-stack format plus a comment
+header, so it both feeds ``repro-ser trace flame`` (rendered as a text
+flame trie) and pastes straight into external flamegraph tooling::
+
+    # repro-profile 1
+    # interval 0.01
+    # samples 1234
+    # wall_time 1722849600.0
+    MainThread;repro.cli.main;repro.runtime.suite.run_suite;... 87
+    worker-0;repro.service.workers._run;... 41
+
+The profiler never inspects its own sampler thread, holds no locks
+while sampling (``sys._current_frames`` is a point-in-time snapshot
+taken under the GIL) and is entirely off -- not even constructed --
+unless ``--profile`` is passed, so the disabled path costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Iterator, TextIO
+
+from ..errors import TelemetryError
+
+PROFILE_FORMAT = "repro-profile"
+PROFILE_VERSION = 1
+
+#: Default sampling period in seconds (100 Hz).
+DEFAULT_INTERVAL = 0.01
+
+
+def _format_frame(frame: Any) -> str:
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{frame.f_code.co_name}"
+
+
+class StackProfiler:
+    """Samples all live threads into collapsed-stack counts.
+
+    Usable as a context manager::
+
+        with StackProfiler(interval=0.01) as profiler:
+            ...  # workload
+        profiler.write("run.prof")
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL):
+        if interval <= 0:
+            raise TelemetryError(
+                f"profiler interval must be positive, got {interval!r}")
+        self.interval = float(interval)
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise TelemetryError("profiler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "StackProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self._sample(own_id)
+
+    def _sample(self, own_id: int) -> None:
+        names = {t.ident: t.name for t in threading.enumerate()}
+        frames = sys._current_frames()
+        with self._lock:
+            self._samples += 1
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                parts = []
+                while frame is not None:
+                    parts.append(_format_frame(frame))
+                    frame = frame.f_back
+                parts.append(names.get(thread_id, f"thread-{thread_id}"))
+                stack = ";".join(reversed(parts))
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def counts(self) -> dict[str, int]:
+        """A copy of the collapsed-stack -> sample-count table."""
+        with self._lock:
+            return dict(self._counts)
+
+    def write(self, path: str | os.PathLike[str]) -> None:
+        """Write the header + collapsed-stack lines (sorted, atomic-ish)."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            counts = dict(self._counts)
+            samples = self._samples
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# {PROFILE_FORMAT} {PROFILE_VERSION}\n")
+            handle.write(f"# interval {self.interval}\n")
+            handle.write(f"# samples {samples}\n")
+            handle.write(f"# wall_time {time.time()}\n")
+            for stack in sorted(counts):
+                handle.write(f"{stack} {counts[stack]}\n")
+            handle.flush()
+
+
+# ----------------------------------------------------------------------
+# Reading and rendering
+# ----------------------------------------------------------------------
+
+
+def is_profile_file(path: str | os.PathLike[str]) -> bool:
+    """True when ``path`` starts with the collapsed-profile header."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            first = handle.readline()
+    except OSError:
+        return False
+    return first.startswith(f"# {PROFILE_FORMAT}")
+
+
+def load_profile(path: str | os.PathLike[str]) -> dict[str, Any]:
+    """Parse a collapsed-stack profile file.
+
+    Returns ``{"meta": {...}, "counts": {stack: n}, "total": n}``.
+    Raises :class:`TelemetryError` on an unreadable file or missing
+    header; malformed stack lines are skipped (torn tails tolerated,
+    same contract as the trace reader).
+    """
+    try:
+        handle: TextIO = open(path, "r", encoding="utf-8",
+                              errors="replace")
+    except OSError as exc:
+        raise TelemetryError(f"cannot read profile {path!r}: {exc}") from exc
+    meta: dict[str, Any] = {}
+    counts: dict[str, int] = {}
+    with handle:
+        first = handle.readline()
+        if not first.startswith(f"# {PROFILE_FORMAT}"):
+            raise TelemetryError(
+                f"{os.fspath(path)!r} is not a {PROFILE_FORMAT} file")
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                fields = line[1:].split(None, 1)
+                if len(fields) == 2:
+                    meta[fields[0]] = fields[1]
+                continue
+            stack, _, count = line.rpartition(" ")
+            if not stack or not count.isdigit():
+                continue  # torn or malformed line
+            counts[stack] = counts.get(stack, 0) + int(count)
+    return {"meta": meta, "counts": counts,
+            "total": sum(counts.values())}
+
+
+def _trie(counts: dict[str, int]) -> dict[str, Any]:
+    root: dict[str, Any] = {}
+    for stack, count in counts.items():
+        node = root
+        for part in stack.split(";"):
+            entry = node.setdefault(part, {"count": 0, "children": {}})
+            entry["count"] += count
+            node = entry["children"]
+    return root
+
+
+def _render(node: dict[str, Any], total: int, depth: int,
+            max_depth: int | None, lines: list[str]) -> None:
+    ranked = sorted(node.items(), key=lambda kv: (-kv[1]["count"], kv[0]))
+    for name, entry in ranked:
+        share = 100.0 * entry["count"] / total if total else 0.0
+        lines.append(f"{'  ' * depth}{name}  {entry['count']} "
+                     f"({share:.1f}%)")
+        if max_depth is None or depth + 1 < max_depth:
+            _render(entry["children"], total, depth + 1, max_depth, lines)
+
+
+def render_profile(profile: dict[str, Any],
+                   max_depth: int | None = None) -> str:
+    """Text flame view of a loaded profile: an indented sample trie.
+
+    Siblings are ordered by sample count; every line shows absolute
+    samples and the share of all samples, so hot paths read straight
+    down the left edge.
+    """
+    total = profile["total"]
+    lines = [f"profile  samples {total}  "
+             f"interval {profile['meta'].get('interval', '?')}s"]
+    if total == 0:
+        lines.append("  (no samples)")
+        return "\n".join(lines) + "\n"
+    _render(_trie(profile["counts"]), total, 1, max_depth, lines)
+    return "\n".join(lines) + "\n"

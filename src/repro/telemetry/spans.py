@@ -20,7 +20,11 @@ per line::
 
 ``t0``/``t``/``dur`` are monotonic seconds relative to the tracer's
 creation (``time.perf_counter``); the header's ``wall_time`` anchors
-them to the wall clock for humans.  Every record is written with a
+them to the wall clock for humans.  Records may carry an optional
+``trace`` key -- a request-scoped trace id (:func:`new_trace_id`) that
+groups every span of one service job across threads, processes and
+retries; readers treat records without it as belonging to the implicit
+single trace of a CLI run.  Every record is written with a
 single buffered ``write`` followed by a flush (one writer per file by
 construction -- parallel workers get their own shard file), and the file
 is ``fsync``\\ ed on :meth:`Tracer.close`, so a crash loses at most the
@@ -47,6 +51,7 @@ import json
 import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -56,18 +61,25 @@ TRACE_FORMAT = "repro-trace"
 TRACE_VERSION = 1
 
 
+def new_trace_id() -> str:
+    """A fresh request-scoped trace id (``t-`` + 16 hex chars)."""
+    return "t-" + uuid.uuid4().hex[:16]
+
+
 class _Span:
     """One open span (bookkeeping only; serialized on end)."""
 
-    __slots__ = ("id", "parent", "name", "t0", "attrs")
+    __slots__ = ("id", "parent", "name", "t0", "attrs", "trace")
 
     def __init__(self, span_id: str, parent: str | None, name: str,
-                 t0: float, attrs: dict[str, Any]):
+                 t0: float, attrs: dict[str, Any],
+                 trace: str | None = None):
         self.id = span_id
         self.parent = parent
         self.name = name
         self.t0 = t0
         self.attrs = attrs
+        self.trace = trace
 
 
 class Tracer:
@@ -85,9 +97,11 @@ class Tracer:
     meta:
         Free-form JSON-serializable run description for the header.
 
-    The span stack is owned by the thread that runs the pipeline; the
-    write path is locked so helper threads may still :meth:`emit_span`
-    or :meth:`event` safely.
+    Span stacks are *thread-local*: the service shares one tracer
+    between HTTP handler threads and worker threads, and each thread
+    nests its own spans without seeing the others'.  The write path is
+    locked, so any thread may :meth:`begin`/:meth:`end`,
+    :meth:`emit_span` or :meth:`event` safely.
     """
 
     def __init__(self, path: str | os.PathLike[str], prefix: str = "",
@@ -97,7 +111,7 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._next_id = 1
-        self._stack: list[_Span] = []
+        self._local = threading.local()
         self._closed = False
         directory = os.path.dirname(self.path)
         if directory:
@@ -123,30 +137,60 @@ class Tracer:
             self._next_id += 1
         return span_id
 
+    @property
+    def _stack(self) -> list[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def current_id(self) -> str | None:
-        """Id of the innermost open span, or ``None``."""
-        return self._stack[-1].id if self._stack else None
+        """Id of this thread's innermost open span, or ``None``."""
+        stack = self._stack
+        return stack[-1].id if stack else None
+
+    def current_trace(self) -> str | None:
+        """Trace id of this thread's innermost open span, or ``None``."""
+        stack = self._stack
+        return stack[-1].trace if stack else None
 
     # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
-    def begin(self, name: str, attrs: dict[str, Any] | None = None,
+    def begin(self, name: str, attrs: dict[str, Any] | None = None, *,
+              parent: str | None = None, trace: str | None = None,
               ) -> _Span:
-        """Open a span as a child of the innermost open span."""
-        span = _Span(self._new_id(), self.current_id(), name, self.now(),
-                     dict(attrs) if attrs else {})
-        self._stack.append(span)
+        """Open a span as a child of this thread's innermost open span.
+
+        ``parent`` overrides the stack-derived parent -- the service uses
+        it to hang lifecycle spans off a job's durable root span even
+        after the originating HTTP request span has closed.  ``trace``
+        tags the span with a request-scoped trace id; when omitted it is
+        inherited from the enclosing open span of this thread.
+        """
+        stack = self._stack
+        if parent is None and stack:
+            parent = stack[-1].id
+        if trace is None and stack:
+            trace = stack[-1].trace
+        span = _Span(self._new_id(), parent, name, self.now(),
+                     dict(attrs) if attrs else {}, trace)
+        stack.append(span)
         return span
 
     def end(self, span: _Span) -> None:
         """Close ``span`` (and anything left open inside it) and emit."""
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        self._emit({"type": "span", "id": span.id, "parent": span.parent,
-                    "name": span.name, "t0": span.t0,
-                    "dur": self.now() - span.t0, "attrs": span.attrs})
+        record = {"type": "span", "id": span.id, "parent": span.parent,
+                  "name": span.name, "t0": span.t0,
+                  "dur": self.now() - span.t0, "attrs": span.attrs}
+        if span.trace is not None:
+            record["trace"] = span.trace
+        self._emit(record)
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[_Span]:
@@ -165,24 +209,36 @@ class Tracer:
             self.end(span)
 
     def emit_span(self, name: str, t0: float,
-                  attrs: dict[str, Any] | None = None) -> str:
+                  attrs: dict[str, Any] | None = None, *,
+                  parent: str | None = None,
+                  trace: str | None = None) -> str:
         """Emit an already-finished span (hot-loop fast path).
 
         The caller supplies the start time (from :meth:`now`); the span
-        is parented to the innermost *open* span and never enters the
-        stack, so thousands of solver-iteration spans cost one dict and
-        one write each.  Returns the span id.
+        is parented to this thread's innermost *open* span (or the
+        explicit ``parent``) and never enters the stack, so thousands of
+        solver-iteration spans cost one dict and one write each.
+        Returns the span id.
         """
         span_id = self._new_id()
-        self._emit({"type": "span", "id": span_id,
-                    "parent": self.current_id(), "name": name, "t0": t0,
-                    "dur": self.now() - t0, "attrs": attrs or {}})
+        stack = self._stack
+        if parent is None and stack:
+            parent = stack[-1].id
+        if trace is None and stack:
+            trace = stack[-1].trace
+        record = {"type": "span", "id": span_id, "parent": parent,
+                  "name": name, "t0": t0, "dur": self.now() - t0,
+                  "attrs": attrs or {}}
+        if trace is not None:
+            record["trace"] = trace
+        self._emit(record)
         return span_id
 
     def add_attrs(self, **attrs: Any) -> None:
         """Merge attributes into the innermost open span (no-op bare)."""
-        if self._stack:
-            self._stack[-1].attrs.update(attrs)
+        stack = self._stack
+        if stack:
+            stack[-1].attrs.update(attrs)
 
     # ------------------------------------------------------------------
     # Events
@@ -193,9 +249,13 @@ class Tracer:
         Returns the event id (cited by, e.g., chaos scorecards).
         """
         event_id = self._new_id()
-        self._emit({"type": "event", "id": event_id,
-                    "parent": self.current_id(), "name": name,
-                    "t": self.now(), "attrs": attrs})
+        record = {"type": "event", "id": event_id,
+                  "parent": self.current_id(), "name": name,
+                  "t": self.now(), "attrs": attrs}
+        trace = self.current_trace()
+        if trace is not None:
+            record["trace"] = trace
+        self._emit(record)
         return event_id
 
     # ------------------------------------------------------------------
@@ -209,6 +269,50 @@ class Tracer:
                 return
             self._handle.write(line)
             self._handle.flush()
+
+    def absorb(self, shard_path: str, delete: bool = True) -> int:
+        """Fold a finished shard trace into this still-open trace.
+
+        Unlike :func:`merge_shard_traces` -- which opens its own append
+        handle and must not race a live writer -- ``absorb`` re-emits the
+        shard's span/event lines verbatim through this tracer's own
+        locked handle, so the service can merge a sandbox subprocess's
+        shard while its tracer keeps writing.  Shard header records are
+        dropped and torn lines skipped (a killed child loses only spans
+        still open at death).  A missing shard is a no-op (the child
+        died before tracing started).  Returns the record count.
+        """
+        try:
+            with open(shard_path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return 0
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot absorb shard trace {shard_path!r}: {exc}") from exc
+        absorbed = 0
+        with self._lock:
+            if not self._closed:
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a killed child
+                    if not isinstance(record, dict) or \
+                            record.get("type") == "trace":
+                        continue
+                    self._handle.write(line + "\n")
+                    absorbed += 1
+                self._handle.flush()
+        if delete:
+            try:
+                os.unlink(shard_path)
+            except OSError:
+                pass
+        return absorbed
 
     def close(self) -> None:
         """Flush, fsync and close the trace file (idempotent)."""

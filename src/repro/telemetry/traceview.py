@@ -44,11 +44,17 @@ class SpanNode:
 
 @dataclass
 class Trace:
-    """A loaded trace file: headers, spans and events in file order."""
+    """A loaded trace file: headers, spans and events in file order.
+
+    ``skipped`` counts unparsable or unknown-type lines the loader
+    tolerated -- torn tails and interior tears from killed/restarted
+    service processes appending to one file.
+    """
 
     headers: list[dict[str, Any]]
     spans: list[dict[str, Any]]
     events: list[dict[str, Any]]
+    skipped: int = 0
 
     @property
     def roots(self) -> list[SpanNode]:
@@ -56,11 +62,15 @@ class Trace:
 
 
 def load_trace(path: str | os.PathLike[str]) -> Trace:
-    """Parse a trace JSONL file.
+    """Parse a trace JSONL file, leniently.
 
     Accepts multiple header records (append-mode reopens and shard
-    merges produce them) and skips a torn final line (a crashed writer);
-    any other malformed content raises :class:`TelemetryError`.
+    merges produce them).  Malformed lines and unknown record types are
+    *skipped and counted* (``Trace.skipped``) wherever they appear: a
+    service killed mid-write and restarted appends after the tear, so a
+    torn line can sit anywhere in the file, and future record types
+    must not break old readers.  Only an unreadable file or a file with
+    no header at all raises :class:`TelemetryError`.
     """
     path = os.fspath(path)
     try:
@@ -71,17 +81,16 @@ def load_trace(path: str | os.PathLike[str]) -> Trace:
     headers: list[dict[str, Any]] = []
     spans: list[dict[str, Any]] = []
     events: list[dict[str, Any]] = []
-    for index, line in enumerate(lines):
+    skipped = 0
+    for line in lines:
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if index == len(lines) - 1:
-                continue  # torn tail of a crashed writer
-            raise TelemetryError(
-                f"{path}:{index + 1}: malformed trace record") from exc
+        except json.JSONDecodeError:
+            skipped += 1  # torn line (kill mid-write, anywhere in file)
+            continue
         kind = record.get("type") if isinstance(record, dict) else None
         if kind == "trace":
             headers.append(record)
@@ -90,11 +99,33 @@ def load_trace(path: str | os.PathLike[str]) -> Trace:
         elif kind == "event":
             events.append(record)
         else:
-            raise TelemetryError(
-                f"{path}:{index + 1}: unknown record type {kind!r}")
+            skipped += 1  # unknown record type: forward compatibility
     if not headers:
         raise TelemetryError(f"{path}: not a repro-trace file (no header)")
-    return Trace(headers=headers, spans=spans, events=events)
+    return Trace(headers=headers, spans=spans, events=events,
+                 skipped=skipped)
+
+
+def filter_trace(trace: Trace, key: str) -> Trace:
+    """Restrict a multi-job trace to one job: ``key`` is a trace id
+    (``t-...``) or a job id (``j-...``).
+
+    A job id resolves to the trace ids its lifecycle spans carry, so
+    either handle selects the same merged span tree (the HTTP request
+    span, every attempt's lifecycle spans, and the sandbox subtree).
+    """
+    traces = {key}
+    for span in trace.spans:
+        if span.get("attrs", {}).get("job") == key and span.get("trace"):
+            traces.add(span["trace"])
+
+    def keep(record: dict[str, Any]) -> bool:
+        return record.get("trace") in traces \
+            or record.get("attrs", {}).get("job") == key
+    return Trace(headers=trace.headers,
+                 spans=[s for s in trace.spans if keep(s)],
+                 events=[e for e in trace.events if keep(e)],
+                 skipped=trace.skipped)
 
 
 def build_tree(spans: list[dict[str, Any]]) -> list[SpanNode]:
@@ -131,10 +162,68 @@ def _walk(nodes: list[SpanNode]):
         yield from _walk(node.children)
 
 
+def _service_job_lines(trace: Trace) -> list[str]:
+    """The per-job service section: one row per trace id.
+
+    A service trace holds many jobs (and several attempts per job);
+    grouping by the ``trace`` record key -- not by file position --
+    gives each job its queue-time vs execution-time breakdown no matter
+    how interleaved the worker threads wrote their spans.
+    """
+    jobs: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+    for span in trace.spans:
+        trace_id = span.get("trace")
+        if trace_id is None:
+            continue
+        info = jobs.get(trace_id)
+        if info is None:
+            info = jobs[trace_id] = {
+                "job": None, "queue": 0.0, "execute": 0.0,
+                "persist": 0.0, "attempts": 0, "spans": 0, "errors": 0}
+            order.append(trace_id)
+        info["spans"] += 1
+        attrs = span.get("attrs", {})
+        if info["job"] is None and attrs.get("job"):
+            info["job"] = str(attrs["job"])
+        name = span.get("name")
+        if name == "queue.wait":
+            info["queue"] += span.get("dur", 0.0)
+        elif name == "job.execute":
+            info["execute"] += span.get("dur", 0.0)
+        elif name == "job.persist":
+            info["persist"] += span.get("dur", 0.0)
+        attempt = attrs.get("attempt")
+        if isinstance(attempt, int):
+            info["attempts"] = max(info["attempts"], attempt)
+        if attrs.get("error"):
+            info["errors"] += 1
+    if not jobs:
+        return []
+    lines = ["service jobs"]
+    for trace_id in order:
+        info = jobs[trace_id]
+        extra = f"  errors {info['errors']}" if info["errors"] else ""
+        lines.append(
+            f"  {info['job'] or '(no job)':<16} trace {trace_id}  "
+            f"attempts {info['attempts']}  "
+            f"queue {_fmt_seconds(info['queue']).strip()}  "
+            f"execute {_fmt_seconds(info['execute']).strip()}  "
+            f"persist {_fmt_seconds(info['persist']).strip()}  "
+            f"spans {info['spans']}{extra}")
+    lines.append("")
+    return lines
+
+
 def summarize_trace(trace: Trace) -> str:
-    """Per-circuit stage table plus aggregate stage/solver totals."""
+    """Per-circuit stage table plus aggregate stage/solver totals.
+
+    Multi-job service traces additionally get the per-job section
+    (:func:`_service_job_lines`) grouped by trace id -- one file can
+    hold any number of jobs, attempts and service restarts.
+    """
     roots = trace.roots
-    lines: list[str] = []
+    lines: list[str] = _service_job_lines(trace)
     circuits = [node for node in _walk(roots) if node.name == "circuit"]
     stage_totals: dict[str, tuple[int, float]] = {}
     iteration_totals: dict[str, int] = {}

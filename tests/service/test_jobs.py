@@ -91,6 +91,52 @@ class TestPersistence:
         assert len(ids) == 100
 
 
+class TestSchemaVersions:
+    def test_v2_roundtrip_keeps_trace_context(self, tmp_path):
+        record = make_record(trace_id="t-4f00ba11", span_id="42")
+        path = tmp_path / "job.json"
+        save_job(record, path)
+        assert json.loads(path.read_text())["version"] == 2
+        loaded = load_job(path)
+        assert loaded.trace_id == "t-4f00ba11"
+        assert loaded.span_id == "42"
+
+    def test_v1_record_loads_with_no_trace_context(self, tmp_path):
+        # A record written by the previous schema: no trace fields at
+        # all.  It must load cleanly with the trace context absent.
+        from repro.runtime.manifest import manifest_checksum
+
+        path = tmp_path / "job.json"
+        save_job(make_record(), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        del payload["trace_id"], payload["span_id"], payload["checksum"]
+        payload["checksum"] = manifest_checksum(payload)
+        path.write_text(json.dumps(payload))
+        loaded = load_job(path)
+        assert loaded.trace_id is None and loaded.span_id is None
+        assert loaded.id == "j-000000000001"
+
+    def test_unknown_future_version_rejected(self, tmp_path):
+        from repro.runtime.manifest import manifest_checksum
+
+        path = tmp_path / "job.json"
+        save_job(make_record(), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 3
+        del payload["checksum"]
+        payload["checksum"] = manifest_checksum(payload)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(JobStateError, match="version"):
+            load_job(path)
+
+    def test_untraced_record_omits_nothing_but_carries_none(self):
+        record = make_record()
+        data = record.to_dict()
+        assert data["trace_id"] is None and data["span_id"] is None
+        assert JobRecord.from_dict(data).trace_id is None
+
+
 class TestResultDigest:
     RECORD = {
         "row": {"circuit": "x", "FF": 10, "ref_time": 1.5, "new_time": 2.5},

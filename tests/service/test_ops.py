@@ -1,0 +1,97 @@
+"""The ops console: status fetch, rate math and screen rendering."""
+
+from repro.service.ops import (TRAFFIC_COUNTERS, _rate, fetch_status,
+                               render_status)
+
+from .test_api import JOB, request, running_service, wait_terminal
+
+
+def fake_status(ts=100.0, metrics=None, counts=None, health=None):
+    payload = {"format": "repro-metrics", "version": 1,
+               "metrics": metrics or {}}
+    return {
+        "ts": ts,
+        "health": health or {
+            "draining": False, "isolation": "thread",
+            "workers": {"pool_size": 2, "workers_alive": 2, "busy": 1,
+                        "heartbeat_alive": True, "last_beat_age": 0.3,
+                        "breaker": "closed"}},
+        "metrics": payload,
+        "jobs": {"counts": counts or {"queued": 3, "running": 1,
+                                      "done": 7}},
+    }
+
+
+class TestRendering:
+    def test_screen_shows_queue_workers_and_traffic(self):
+        metrics = {
+            "service.jobs.accepted": {"type": "counter", "value": 11},
+            "service.memory.resident_mb": {"type": "gauge", "value": 93.4},
+        }
+        text = render_status(fake_status(metrics=metrics))
+        assert "repro-ser ops" in text and "serving" in text
+        assert "queued=3" in text and "done=7" in text
+        assert "alive=2/2" in text and "busy=1" in text
+        assert "heartbeat=up (beat 0.3s ago)" in text
+        assert "breaker=closed" in text
+        assert "resident=93 MiB" in text
+        assert "accepted" in text and "11" in text
+
+    def test_draining_and_dead_heartbeat_are_loud(self):
+        status = fake_status(health={
+            "draining": True, "isolation": "process",
+            "workers": {"pool_size": 2, "workers_alive": 0, "busy": 0,
+                        "heartbeat_alive": False, "breaker": "open"}})
+        text = render_status(status)
+        assert "DRAINING" in text
+        assert "heartbeat=DOWN" in text
+        assert "breaker=open" in text
+
+    def test_latency_rows_interpolate_quantiles(self):
+        metrics = {"http.seconds.post_jobs": {
+            "type": "histogram", "count": 100, "sum": 1.0,
+            "buckets": [0.01, 0.1, 1.0],
+            "counts": [50, 50, 0, 0]}}
+        text = render_status(fake_status(metrics=metrics))
+        assert "http latency" in text
+        row = next(line for line in text.splitlines()
+                   if "post_jobs" in line)
+        assert "n=100" in row
+        assert "p50" in row and "p99" in row
+        # p50 falls exactly at the first bucket's upper bound.
+        assert "10.0ms" in row
+
+    def test_rates_come_from_snapshot_deltas(self):
+        prev = fake_status(ts=100.0, metrics={
+            "service.jobs.accepted": {"type": "counter", "value": 10}})
+        now = fake_status(ts=110.0, metrics={
+            "service.jobs.accepted": {"type": "counter", "value": 30}})
+        assert _rate(now, prev, "service.jobs.accepted") == 2.0
+        assert _rate(now, None, "service.jobs.accepted") is None
+        text = render_status(now, prev)
+        assert "(2.00/s)" in text
+
+    def test_traffic_counter_names_exist_in_codebase(self):
+        # The console renders these by name; a rename must update both.
+        names = {name for name, _ in TRAFFIC_COUNTERS}
+        assert "service.jobs.accepted" in names
+        assert "service.jobs.quarantined" in names
+
+
+class TestLiveConsole:
+    def test_fetch_and_render_against_live_service(self, tmp_path):
+        with running_service(tmp_path) as (svc, endpoint):
+            status, _, payload = request(endpoint, "POST", "/jobs",
+                                         body=JOB)
+            assert status == 202
+            wait_terminal(endpoint, payload["job"]["id"])
+            polled = fetch_status(endpoint["host"], endpoint["port"])
+            text = render_status(polled)
+        assert "repro-ser ops" in text
+        assert "done=1" in text
+        # The POST and result polls landed in the SLO histograms.
+        assert "post_jobs" in text
+        metrics = polled["metrics"]["metrics"]
+        assert metrics["http.requests.post_jobs.2xx"]["value"] >= 1
+        assert metrics["http.seconds.post_jobs"]["count"] >= 1
+        assert metrics["service.tenant.default.accepted"]["value"] >= 1

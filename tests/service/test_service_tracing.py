@@ -1,0 +1,223 @@
+"""End-to-end request-scoped tracing through the service.
+
+Submits real jobs over HTTP against an in-process service with the
+tracer on and asserts the whole merged span tree per job: the
+``http.request`` root minted at admission, ``queue.wait`` /
+``job.lease`` / ``job.execute`` / ``job.persist`` lifecycle spans, the
+pipeline's stage spans nested under execution, and -- under process
+isolation -- the sandbox subprocess's ``job.sandbox`` subtree stitched
+across the process boundary.  Also proves the two non-negotiables:
+digests are identical tracing on vs off, and trace context survives
+every durable path (journal, requeue, crash, quarantine, recovery).
+"""
+
+import pytest
+
+from repro.service.accesslog import read_access_log
+from repro.service.queue import JobQueue, read_journal
+from repro.telemetry.traceview import filter_trace, load_trace
+
+from .test_api import JOB, TINY_BENCH, request, running_service, \
+    wait_terminal
+
+
+def traced_service(tmp_path, **overrides):
+    trace = tmp_path / "trace.jsonl"
+    root = tmp_path / "svc"
+    return trace, running_service(root, trace_path=str(trace), **overrides)
+
+
+def spans_by_name(trace):
+    by_name = {}
+    for span in trace.spans:
+        by_name.setdefault(span["name"], []).append(span)
+    return by_name
+
+
+def submit_and_finish(endpoint):
+    status, _, payload = request(endpoint, "POST", "/jobs", body=JOB)
+    assert status == 202
+    job = payload["job"]
+    result = wait_terminal(endpoint, job["id"])
+    assert result["state"] == "done"
+    return job, result
+
+
+class TestThreadIsolationSpanTree:
+    def test_one_job_yields_one_merged_span_tree(self, tmp_path):
+        trace_path, service = traced_service(tmp_path)
+        with service as (svc, endpoint):
+            job, _ = submit_and_finish(endpoint)
+        assert job["trace_id"] and job["span_id"]
+        tree = filter_trace(load_trace(trace_path), job["id"])
+        by_name = spans_by_name(tree)
+
+        (root,) = by_name["http.request"]
+        assert root["trace"] == job["trace_id"]
+        assert root["id"] == job["span_id"]
+        assert root["parent"] is None
+        assert root["attrs"]["route"] == "post_jobs"
+        assert root["attrs"]["status"] == 202
+        assert root["attrs"]["job"] == job["id"]
+
+        # Every lifecycle span hangs off the durable root span and
+        # carries the job's trace id.
+        for name in ("queue.wait", "job.lease", "job.execute",
+                     "job.persist"):
+            (span,) = by_name[name]
+            assert span["parent"] == job["span_id"], name
+            assert span["trace"] == job["trace_id"], name
+            assert span["attrs"]["job"] == job["id"], name
+            assert span["attrs"]["attempt"] == 1, name
+        assert by_name["job.execute"][0]["attrs"]["isolation"] == "thread"
+        assert by_name["job.persist"][0]["attrs"]["outcome"] == "ok"
+
+        # The pipeline's stage spans nest under job.execute and inherit
+        # the trace id through the worker thread's span stack.
+        execute = by_name["job.execute"][0]
+        stages = [s for s in tree.spans
+                  if s["name"].startswith("stage:")]
+        assert stages
+        ids = {s["id"] for s in tree.spans}
+        for stage in stages:
+            assert stage["trace"] == job["trace_id"]
+            assert stage["parent"] in ids
+        circuits = by_name.get("circuit", [])
+        assert any(c["parent"] == execute["id"] for c in circuits)
+
+    def test_untraced_get_requests_stay_out_of_job_trees(self, tmp_path):
+        trace_path, service = traced_service(tmp_path)
+        with service as (svc, endpoint):
+            job, _ = submit_and_finish(endpoint)
+            request(endpoint, "GET", "/healthz")
+        full = load_trace(trace_path)
+        gets = [s for s in full.spans if s["name"] == "http.request"
+                and s["attrs"].get("method") == "GET"]
+        assert gets and all("trace" not in s for s in gets)
+        tree = filter_trace(full, job["id"])
+        assert all(s["attrs"].get("method") != "GET"
+                   for s in tree.spans if s["name"] == "http.request")
+
+
+class TestProcessIsolationSpanTree:
+    def test_sandbox_subtree_parents_across_the_process_boundary(
+            self, tmp_path):
+        trace_path, service = traced_service(
+            tmp_path, isolation="process", drain_timeout=60.0)
+        with service as (svc, endpoint):
+            job, _ = submit_and_finish(endpoint)
+        tree = filter_trace(load_trace(trace_path), job["id"])
+        by_name = spans_by_name(tree)
+
+        (execute,) = by_name["job.execute"]
+        assert execute["parent"] == job["span_id"]
+        assert execute["attrs"]["isolation"] == "process"
+
+        # The subprocess's root span joins the parent-side execute span.
+        (sandbox,) = by_name["job.sandbox"]
+        assert sandbox["parent"] == execute["id"]
+        assert sandbox["trace"] == job["trace_id"]
+        assert sandbox["attrs"]["job"] == job["id"]
+        assert sandbox["attrs"]["pid"] != execute["attrs"].get("pid")
+
+        # Pipeline stages ran inside the sandbox, under its root span.
+        stages = [s for s in tree.spans
+                  if s["name"].startswith("stage:")]
+        assert stages and all(s["trace"] == job["trace_id"]
+                              for s in stages)
+
+    def test_sandbox_shard_files_are_consumed(self, tmp_path):
+        trace_path, service = traced_service(
+            tmp_path, isolation="process", drain_timeout=60.0)
+        with service as (svc, endpoint):
+            submit_and_finish(endpoint)
+        leftovers = [p for p in trace_path.parent.iterdir()
+                     if ".sandbox-" in p.name]
+        assert leftovers == []
+
+
+class TestDigestParity:
+    def test_digests_identical_tracing_on_and_off(self, tmp_path):
+        with running_service(tmp_path / "plain") as (svc, endpoint):
+            _, plain = submit_and_finish(endpoint)
+        _, service = traced_service(tmp_path)
+        with service as (svc, endpoint):
+            _, traced = submit_and_finish(endpoint)
+        assert plain["result"]["digest"] == traced["result"]["digest"]
+
+
+class TestDurableTraceContext:
+    SPEC = {"netlist": TINY_BENCH, "name": "tiny"}
+
+    def test_job_record_and_journal_carry_trace_context(self, tmp_path):
+        trace_path, service = traced_service(tmp_path)
+        with service as (svc, endpoint):
+            job, _ = submit_and_finish(endpoint)
+            status, _, shown = request(endpoint, "GET",
+                                       f"/jobs/{job['id']}")
+        assert shown["job"]["trace_id"] == job["trace_id"]
+        assert shown["job"]["span_id"] == job["span_id"]
+        journal = read_journal(tmp_path / "svc")
+        mine = [e for e in journal if e.get("job") == job["id"]]
+        assert mine
+        for entry in mine:
+            assert entry["trace"] == job["trace_id"]
+            assert entry["span"] == job["span_id"]
+
+    def test_trace_context_survives_requeue_and_recovery(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(self.SPEC, trace_id="t-abc",
+                              span_id="s-root")
+        queue.claim("w0")
+        requeued = queue.requeue(record.id, "lease expired")
+        assert requeued.state == "queued"
+        assert requeued.trace_id == "t-abc"
+        assert requeued.span_id == "s-root"
+        # A fresh queue instance reloads the durable records from disk.
+        reloaded = JobQueue(tmp_path)
+        reloaded.recover()
+        loaded = reloaded.get(record.id)
+        assert loaded.trace_id == "t-abc"
+        assert loaded.span_id == "s-root"
+
+    def test_trace_context_survives_crash_and_quarantine(self, tmp_path):
+        queue = JobQueue(tmp_path, max_crashes=2)
+        record = queue.submit(self.SPEC, trace_id="t-abc",
+                              span_id="s-root")
+        queue.claim("w0")
+        crashed = queue.record_crash(record.id, {"kind": "signal"})
+        assert crashed.state == "queued"
+        assert crashed.trace_id == "t-abc"
+        queue.claim("w0")
+        poisoned = queue.record_crash(record.id, {"kind": "signal"})
+        assert poisoned.state == "quarantined"
+        assert poisoned.trace_id == "t-abc"
+        assert poisoned.span_id == "s-root"
+
+
+class TestAccessLog:
+    def test_every_request_logged_with_trace_join_keys(self, tmp_path):
+        access = tmp_path / "access.jsonl"
+        trace_path, service = traced_service(
+            tmp_path, access_log=str(access))
+        with service as (svc, endpoint):
+            job, _ = submit_and_finish(endpoint)
+            request(endpoint, "GET", "/healthz")
+        entries = read_access_log(access)
+        post = next(e for e in entries if e["route"] == "post_jobs")
+        assert post["status"] == 202
+        assert post["trace"] == job["trace_id"]
+        assert post["job"] == job["id"]
+        assert post["tenant"] == "default"
+        assert post["dur_ms"] >= 0
+        health = [e for e in entries if e["route"] == "healthz"]
+        assert health and all("trace" not in e for e in health)
+
+    def test_access_log_without_tracer_still_logs(self, tmp_path):
+        access = tmp_path / "access.jsonl"
+        with running_service(tmp_path / "svc",
+                             access_log=str(access)) as (svc, endpoint):
+            request(endpoint, "GET", "/jobs")
+        entries = read_access_log(access)
+        assert any(e["route"] == "get_jobs" and e["status"] == 200
+                   for e in entries)

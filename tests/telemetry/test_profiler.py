@@ -1,0 +1,90 @@
+"""Unit tests for the periodic stack-sampling profiler."""
+
+import threading
+import time
+
+from repro.telemetry.profiler import (StackProfiler, is_profile_file,
+                                      load_profile, render_profile)
+
+
+def busy_wait(seconds):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestStackProfiler:
+    def test_samples_running_code(self):
+        with StackProfiler(interval=0.001) as profiler:
+            busy_wait(0.15)
+        counts = profiler.counts()
+        assert counts
+        # This test function must show up on the sampled main thread.
+        assert any("busy_wait" in stack for stack in counts)
+
+    def test_stacks_are_root_first_and_thread_labelled(self):
+        with StackProfiler(interval=0.001) as profiler:
+            busy_wait(0.15)
+        stack = next(s for s in profiler.counts() if "busy_wait" in s)
+        frames = stack.split(";")
+        assert frames[0] == threading.current_thread().name
+        # Deeper frames come later: busy_wait is below the test method.
+        assert frames.index(
+            next(f for f in frames if "test_stacks" in f)) < \
+            frames.index(next(f for f in frames if "busy_wait" in f))
+
+    def test_profiler_skips_its_own_thread(self):
+        with StackProfiler(interval=0.001) as profiler:
+            busy_wait(0.1)
+        assert not any("_sample" in stack or "StackProfiler" in stack
+                       for stack in profiler.counts())
+
+    def test_stop_is_idempotent_and_halts_sampling(self):
+        profiler = StackProfiler(interval=0.001)
+        profiler.start()
+        busy_wait(0.05)
+        profiler.stop()
+        n = profiler.samples
+        busy_wait(0.05)
+        profiler.stop()
+        assert profiler.samples == n
+
+
+class TestProfileFiles:
+    def profile(self, tmp_path):
+        path = tmp_path / "run.prof"
+        with StackProfiler(interval=0.001) as profiler:
+            busy_wait(0.15)
+        profiler.write(path)
+        return path, profiler
+
+    def test_write_load_round_trip(self, tmp_path):
+        path, profiler = self.profile(tmp_path)
+        loaded = load_profile(path)
+        assert loaded["counts"] == profiler.counts()
+        assert loaded["total"] == sum(profiler.counts().values())
+        assert float(loaded["meta"]["interval"]) == 0.001
+
+    def test_is_profile_file_discriminates(self, tmp_path):
+        path, _ = self.profile(tmp_path)
+        assert is_profile_file(path)
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"type": "trace"}\n')
+        assert not is_profile_file(trace)
+        assert not is_profile_file(tmp_path / "absent")
+
+    def test_render_names_hot_function_with_share(self, tmp_path):
+        path, _ = self.profile(tmp_path)
+        text = render_profile(load_profile(path))
+        assert text.startswith("profile  samples ")
+        assert "busy_wait" in text
+        assert "%" in text
+
+    def test_render_respects_max_depth(self, tmp_path):
+        path, _ = self.profile(tmp_path)
+        text = render_profile(load_profile(path), max_depth=0)
+        assert "busy_wait" not in text  # only thread roots remain
+
+    def test_render_empty_profile(self):
+        text = render_profile({"meta": {}, "counts": {}, "total": 0})
+        assert "(no samples)" in text

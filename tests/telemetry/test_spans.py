@@ -126,6 +126,106 @@ class TestTracer:
                                                 "span"]
 
 
+class TestTraceContext:
+    """The request-scoped additions: trace ids, explicit parentage,
+    per-thread span stacks, and shard absorption."""
+
+    def test_new_trace_id_shape_and_uniqueness(self):
+        ids = {telemetry.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(t.startswith("t-") and len(t) == 18 for t in ids)
+
+    def test_explicit_parent_and_trace_override_stack(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("unrelated"):
+            span = tracer.begin("queue.wait", {"job": "j-1"},
+                                parent="root-span", trace="t-abc")
+            tracer.end(span)
+        tracer.close()
+        by_name = {r["name"]: r for r in spans_of(read_records(path))}
+        assert by_name["queue.wait"]["parent"] == "root-span"
+        assert by_name["queue.wait"]["trace"] == "t-abc"
+        # The enclosing span is untraced: no trace key at all.
+        assert "trace" not in by_name["unrelated"]
+
+    def test_children_inherit_trace_from_stack(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        root = tracer.begin("http.request", trace="t-abc")
+        with tracer.span("stage:prepare"):
+            pass
+        tracer.end(root)
+        tracer.close()
+        by_name = {r["name"]: r for r in spans_of(read_records(path))}
+        assert by_name["stage:prepare"]["trace"] == "t-abc"
+        assert by_name["stage:prepare"]["parent"] == root.id
+
+    def test_emit_span_accepts_explicit_parent_and_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.emit_span("queue.wait", tracer.now() - 0.5, {"job": "j-1"},
+                         parent="root-span", trace="t-abc")
+        tracer.close()
+        (span,) = spans_of(read_records(path))
+        assert span["parent"] == "root-span"
+        assert span["trace"] == "t-abc"
+        assert span["dur"] >= 0.5
+
+    def test_span_stacks_are_per_thread(self, tmp_path):
+        import threading
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        ready = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker-root"):
+                seen["worker"] = tracer.current_id()
+                ready.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=worker)
+        with tracer.span("main-root"):
+            thread.start()
+            assert ready.wait(5.0)
+            # The worker's open span must not leak into this thread.
+            assert tracer.current_id() != seen["worker"]
+            release.set()
+        thread.join(5.0)
+        tracer.close()
+        by_name = {r["name"]: r for r in spans_of(read_records(path))}
+        assert by_name["worker-root"]["parent"] is None
+        assert by_name["main-root"]["parent"] is None
+
+    def test_absorb_folds_shard_into_open_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        root = tracer.begin("job.execute", trace="t-abc")
+        shard = f"{tracer.path}.sandbox-j1-1.jsonl"
+        child = Tracer(shard, prefix="sb-")
+        span = child.begin("job.sandbox", {"job": "j-1"},
+                           parent=root.id, trace="t-abc")
+        child.end(span)
+        child.close()
+        assert tracer.absorb(shard) == 1  # header dropped, span kept
+        import os
+        assert not os.path.exists(shard)  # shard consumed
+        tracer.end(root)
+        tracer.close()
+        by_name = {r["name"]: r for r in spans_of(read_records(path))}
+        assert by_name["job.sandbox"]["parent"] == root.id
+        assert by_name["job.sandbox"]["id"].startswith("sb-")
+        assert by_name["job.sandbox"]["trace"] == "t-abc"
+
+    def test_absorb_missing_shard_is_zero(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        assert tracer.absorb(str(tmp_path / "absent.jsonl")) == 0
+        tracer.close()
+
+
 class TestGlobalInstall:
     def test_noop_when_uninstalled(self):
         telemetry.uninstall()

@@ -6,8 +6,9 @@ import pytest
 
 from repro.errors import TelemetryError
 from repro.telemetry import Tracer
-from repro.telemetry.traceview import (build_tree, flame, load_trace,
-                                       summarize_trace, top_spans)
+from repro.telemetry.traceview import (build_tree, filter_trace, flame,
+                                       load_trace, summarize_trace,
+                                       top_spans)
 
 
 def write_trace(path, records):
@@ -61,17 +62,23 @@ class TestLoadTrace:
             handle.write('{"type": "span", "id"')
         assert len(load_trace(path).spans) == 5
 
-    def test_malformed_interior_line_raises(self, tmp_path):
+    def test_malformed_interior_line_skipped_and_counted(self, tmp_path):
+        # A killed-and-restarted service appends after the tear, so a
+        # torn line can sit anywhere; readers tolerate it.
         path = tmp_path / "t.jsonl"
-        path.write_text('not json\n' + json.dumps(HEADER) + "\n")
-        with pytest.raises(TelemetryError):
-            load_trace(path)
+        path.write_text('not json\n' + json.dumps(HEADER) + "\n"
+                        + json.dumps(span("1", None, "circuit", 0.0, 0.1))
+                        + "\n")
+        trace = load_trace(path)
+        assert trace.skipped == 1
+        assert len(trace.spans) == 1
 
-    def test_unknown_record_type_raises(self, tmp_path):
+    def test_unknown_record_type_skipped_and_counted(self, tmp_path):
         path = tmp_path / "t.jsonl"
         write_trace(path, [HEADER, {"type": "mystery"}])
-        with pytest.raises(TelemetryError):
-            load_trace(path)
+        trace = load_trace(path)
+        assert trace.skipped == 1
+        assert trace.spans == [] and trace.events == []
 
     def test_missing_header_raises(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -82,6 +89,80 @@ class TestLoadTrace:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(TelemetryError):
             load_trace(tmp_path / "absent.jsonl")
+
+
+def service_records():
+    """A two-job service trace with interleaved lifecycle spans."""
+
+    def tspan(span_id, parent, name, t0, dur, trace, **attrs):
+        record = span(span_id, parent, name, t0, dur, **attrs)
+        record["trace"] = trace
+        return record
+
+    return [
+        HEADER,
+        tspan("a1", None, "http.request", 0.00, 0.01, "t-aaa",
+              method="POST", path="/jobs", job="j-one"),
+        tspan("b1", None, "http.request", 0.02, 0.01, "t-bbb",
+              method="POST", path="/jobs", job="j-two"),
+        # Interleaved: j-two's lifecycle lands between j-one's spans.
+        tspan("a2", "a1", "queue.wait", 0.01, 0.04, "t-aaa",
+              job="j-one", attempt=1),
+        tspan("b2", "b1", "queue.wait", 0.03, 0.01, "t-bbb",
+              job="j-two", attempt=1),
+        tspan("a3", "a1", "job.execute", 0.05, 0.20, "t-aaa",
+              job="j-one", attempt=1),
+        tspan("b3", "b1", "job.execute", 0.04, 0.10, "t-bbb",
+              job="j-two", attempt=1, error="AnalysisError"),
+        tspan("a4", "a1", "job.persist", 0.25, 0.001, "t-aaa",
+              job="j-one", attempt=1, outcome="done"),
+        # j-one retried: attempt 2 spans are siblings under the same root.
+        tspan("a5", "a1", "job.execute", 0.30, 0.15, "t-aaa",
+              job="j-one", attempt=2),
+        # Untraced GET poll, no trace key at all.
+        span("g1", None, "http.request", 0.40, 0.001,
+             method="GET", path="/jobs"),
+    ]
+
+
+class TestServiceTraces:
+    def trace(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        write_trace(path, service_records())
+        return load_trace(path)
+
+    def test_summarize_groups_by_trace_id(self, tmp_path):
+        text = summarize_trace(self.trace(tmp_path))
+        assert "service jobs" in text
+        assert "j-one" in text and "t-aaa" in text
+        assert "j-two" in text and "t-bbb" in text
+        # j-one's execute time sums both attempts: 0.20 + 0.15 s.
+        one = next(line for line in text.splitlines() if "j-one" in line)
+        assert "attempts 2" in one
+        assert "execute 350.00ms" in one
+        assert "queue 40.00ms" in one
+        two = next(line for line in text.splitlines() if "j-two" in line)
+        assert "attempts 1" in two and "errors 1" in two
+
+    def test_summarize_without_service_spans_has_no_section(self,
+                                                            tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, pipeline_records())
+        assert "service jobs" not in summarize_trace(load_trace(path))
+
+    def test_filter_by_trace_id(self, tmp_path):
+        filtered = filter_trace(self.trace(tmp_path), "t-aaa")
+        assert {s["id"] for s in filtered.spans} == \
+            {"a1", "a2", "a3", "a4", "a5"}
+
+    def test_filter_by_job_id_selects_same_tree(self, tmp_path):
+        filtered = filter_trace(self.trace(tmp_path), "j-two")
+        assert {s["id"] for s in filtered.spans} == {"b1", "b2", "b3"}
+        assert filtered.headers == self.trace(tmp_path).headers
+
+    def test_filter_unknown_key_empties(self, tmp_path):
+        filtered = filter_trace(self.trace(tmp_path), "j-nope")
+        assert filtered.spans == [] and filtered.events == []
 
 
 class TestBuildTree:
